@@ -1,0 +1,143 @@
+//! Per-table/figure benchmarks: each benchmark id names the paper artifact
+//! whose regeneration cost it measures. These are the building blocks of
+//! the `experiments` binary (which produces the actual rows/series); the
+//! benches here time one representative unit of each experiment so
+//! regressions in any experiment's hot path are caught.
+
+use chem::{molecular_hamiltonian, tfim_paper, MoleculeSpec};
+use criterion::{criterion_group, criterion_main, Criterion};
+use qnoise::DeviceModel;
+use varsaw::{
+    cost, run_method, JigsawEvaluator, Method, RunSetup, SpatialPlan, TemporalPolicy,
+    VarSawEvaluator,
+};
+use vqe::{
+    BaselineEvaluator, EfficientSu2, EnergyEvaluator, Entanglement, SimExecutor, VqeConfig,
+};
+
+fn spec(label: &str) -> MoleculeSpec {
+    let (name, qubits) = label.split_once('-').unwrap();
+    MoleculeSpec::find(name, qubits.parse().unwrap()).unwrap()
+}
+
+/// Table 1 / Fig.19 unit: a single mitigated JigSaw evaluation.
+fn table1_jigsaw_evaluation(c: &mut Criterion) {
+    let h = molecular_hamiltonian(&spec("CH4-6"));
+    let ansatz = EfficientSu2::new(6, 2, Entanglement::Full);
+    let params = ansatz.initial_parameters(3);
+    c.bench_function("table1/jigsaw_evaluation_ch4_6", |b| {
+        let mut eval = JigsawEvaluator::new(
+            &h,
+            ansatz.clone(),
+            2,
+            SimExecutor::exact(DeviceModel::mumbai_like(), 1),
+        );
+        b.iter(|| std::hint::black_box(eval.evaluate(&params)))
+    });
+}
+
+/// Fig.6/Fig.12 unit: spatial plan construction.
+fn fig12_spatial_plans(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12");
+    for label in ["CH4-6", "CH4-8", "H2O-12"] {
+        let h = molecular_hamiltonian(&spec(label));
+        g.bench_function(format!("spatial_plan_{label}"), |b| {
+            b.iter(|| std::hint::black_box(SpatialPlan::new(&h, 2).stats()))
+        });
+    }
+    g.finish();
+}
+
+/// Fig.8 unit: the full cost-model sweep.
+fn fig8_cost_model(c: &mut Criterion) {
+    c.bench_function("fig8/cost_model_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for q in (4..=1000).step_by(12) {
+                acc += cost::jigsaw_cost(q, 2)
+                    + cost::traditional_cost(q)
+                    + cost::varsaw_cost(q, 0.01, 2);
+            }
+            std::hint::black_box(acc)
+        })
+    });
+}
+
+/// Fig.13/Fig.14 unit: one objective evaluation for each method.
+fn fig13_method_evaluations(c: &mut Criterion) {
+    let h = molecular_hamiltonian(&spec("CH4-6"));
+    let ansatz = EfficientSu2::new(6, 2, Entanglement::Full);
+    let params = ansatz.initial_parameters(5);
+    let dev = DeviceModel::mumbai_like();
+    let mut g = c.benchmark_group("fig13");
+    g.bench_function("baseline_evaluation_ch4_6", |b| {
+        let mut eval =
+            BaselineEvaluator::new(&h, ansatz.clone(), SimExecutor::new(dev.clone(), 1024, 1));
+        b.iter(|| std::hint::black_box(eval.evaluate(&params)))
+    });
+    g.bench_function("varsaw_evaluation_ch4_6", |b| {
+        let mut eval = VarSawEvaluator::new(
+            &h,
+            ansatz.clone(),
+            2,
+            TemporalPolicy::Adaptive {
+                initial_interval: 2,
+            },
+            SimExecutor::new(dev.clone(), 1024, 1),
+        );
+        b.iter(|| std::hint::black_box(eval.evaluate(&params)))
+    });
+    g.finish();
+}
+
+/// Fig.16 unit: a short TFIM tuning run with sparsity.
+fn fig16_tfim_run(c: &mut Criterion) {
+    c.bench_function("fig16/tfim_sparse_20_iterations", |b| {
+        b.iter(|| {
+            let setup = RunSetup::new(
+                tfim_paper(),
+                EfficientSu2::new(5, 2, Entanglement::Full),
+                DeviceModel::lagos_like(),
+                9,
+            );
+            let out = run_method(
+                &setup,
+                Method::VarSaw(TemporalPolicy::OneShot),
+                &VqeConfig {
+                    max_iterations: 20,
+                    max_circuits: None,
+                },
+            );
+            std::hint::black_box(out.trace.best_energy())
+        })
+    });
+}
+
+/// Table 5 unit: scaling a device's noise.
+fn table5_device_scaling(c: &mut Criterion) {
+    let dev = DeviceModel::mumbai_like();
+    c.bench_function("table5/device_scaling", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for s in [5.0, 3.0, 1.0, 0.8, 0.5, 0.1, 0.05] {
+                acc += dev.scaled(s).average_readout_error();
+            }
+            std::hint::black_box(acc)
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(900))
+        .warm_up_time(std::time::Duration::from_millis(200))
+}
+
+criterion_group! {
+    name = figures;
+    config = config();
+    targets = table1_jigsaw_evaluation, fig12_spatial_plans, fig8_cost_model,
+        fig13_method_evaluations, fig16_tfim_run, table5_device_scaling
+}
+criterion_main!(figures);

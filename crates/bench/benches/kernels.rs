@@ -1,0 +1,133 @@
+//! Criterion benchmarks for the computational kernels every experiment
+//! leans on: state-vector simulation, Pauli algebra, noise channels,
+//! Bayesian reconstruction, grouping and the Lanczos eigensolver.
+
+use chem::{molecular_hamiltonian, MoleculeSpec};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mitigation::{reconstruct, Pmf, ReconstructionConfig};
+use pauli::{group_by_cover, PauliString};
+use qnoise::{apply_readout_errors, ReadoutError};
+use qsim::{Circuit, Statevector};
+use rand::{rngs::StdRng, SeedableRng};
+use vqe::{EfficientSu2, Entanglement};
+
+fn ansatz_circuit(n: usize) -> Circuit {
+    let a = EfficientSu2::new(n, 2, Entanglement::Full);
+    a.circuit(&a.initial_parameters(7))
+}
+
+fn bench_statevector(c: &mut Criterion) {
+    let mut g = c.benchmark_group("statevector");
+    for n in [6usize, 8, 10, 12] {
+        let circuit = ansatz_circuit(n);
+        g.bench_function(format!("efficient_su2_{n}q"), |b| {
+            b.iter(|| {
+                let mut st = Statevector::zero(n);
+                st.apply_circuit(&circuit);
+                std::hint::black_box(st.probabilities()[0])
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_pauli_expectation(c: &mut Criterion) {
+    let n = 10;
+    let circuit = ansatz_circuit(n);
+    let mut st = Statevector::zero(n);
+    st.apply_circuit(&circuit);
+    let string: PauliString = "ZXIZYIZXIZ".parse().unwrap();
+    c.bench_function("pauli/exact_expectation_10q", |b| {
+        b.iter(|| std::hint::black_box(string.expectation(&st)))
+    });
+}
+
+fn bench_grouping(c: &mut Criterion) {
+    let mut g = c.benchmark_group("grouping");
+    for label in ["CH4-8", "H2O-12"] {
+        let (name, qubits) = label.split_once('-').unwrap();
+        let spec = MoleculeSpec::find(name, qubits.parse().unwrap()).unwrap();
+        let h = molecular_hamiltonian(&spec);
+        let strings: Vec<PauliString> = h
+            .measurable_terms()
+            .iter()
+            .map(|t| t.string().clone())
+            .collect();
+        g.bench_function(format!("group_by_cover_{label}"), |b| {
+            b.iter(|| std::hint::black_box(group_by_cover(&strings).len()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_reconstruction(c: &mut Criterion) {
+    // An 8-qubit global PMF with 7 window locals — one basis circuit's
+    // JigSaw reconstruction.
+    let n = 8usize;
+    let circuit = ansatz_circuit(n);
+    let mut st = Statevector::zero(n);
+    st.apply_circuit(&circuit);
+    let qubits: Vec<usize> = (0..n).collect();
+    let global = Pmf::new(qubits.clone(), st.probabilities());
+    let locals: Vec<Pmf> = (0..n - 1)
+        .map(|w| global.marginal(&[w, w + 1]))
+        .collect();
+    c.bench_function("reconstruction/bayesian_8q_7windows", |b| {
+        b.iter(|| {
+            std::hint::black_box(reconstruct(
+                &global,
+                &locals,
+                ReconstructionConfig::default(),
+            ))
+        })
+    });
+}
+
+fn bench_noise_channel(c: &mut Criterion) {
+    let errors = vec![ReadoutError::new(0.02, 0.05); 10];
+    let base: Vec<f64> = (0..1024).map(|i| (i as f64 + 1.0) / 524800.0).collect();
+    c.bench_function("noise/readout_channel_10q", |b| {
+        b.iter_batched(
+            || base.clone(),
+            |mut probs| {
+                apply_readout_errors(&mut probs, &errors);
+                std::hint::black_box(probs[0])
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let circuit = ansatz_circuit(8);
+    let mut st = Statevector::zero(8);
+    st.apply_circuit(&circuit);
+    let probs = st.probabilities();
+    c.bench_function("sampling/1024_shots_8q", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| std::hint::black_box(qsim::sample_counts(&probs, 1024, &mut rng)))
+    });
+}
+
+fn bench_lanczos(c: &mut Criterion) {
+    let spec = MoleculeSpec::find("CH4", 6).unwrap();
+    let h = molecular_hamiltonian(&spec);
+    c.bench_function("lanczos/ground_energy_ch4_6", |b| {
+        b.iter(|| std::hint::black_box(h.ground_energy(1)))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(800))
+        .warm_up_time(std::time::Duration::from_millis(200))
+}
+
+criterion_group! {
+    name = kernels;
+    config = config();
+    targets = bench_statevector, bench_pauli_expectation, bench_grouping,
+        bench_reconstruction, bench_noise_channel, bench_sampling, bench_lanczos
+}
+criterion_main!(kernels);

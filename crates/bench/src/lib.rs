@@ -1,0 +1,3 @@
+//! Benchmark crate for the VarSaw reproduction. See `benches/kernels.rs`
+//! (computational kernels) and `benches/figures.rs` (one unit per paper
+//! table/figure).

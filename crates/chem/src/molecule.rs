@@ -1,0 +1,170 @@
+//! The paper's molecular workload inventory (Table 2).
+
+use std::fmt;
+
+/// A molecular VQE workload: name, qubit count and Hamiltonian size.
+///
+/// Mirrors one row of the paper's Table 2. `temporal` marks whether the
+/// paper (and our experiments) run the full spatial+temporal evaluation on
+/// it — the larger systems are evaluated for spatial benefits only, since
+/// simulating thousands of VQE iterations on them is impractical.
+///
+/// # Examples
+///
+/// ```
+/// use chem::MoleculeSpec;
+///
+/// let ch4 = MoleculeSpec::find("CH4", 6).unwrap();
+/// assert_eq!(ch4.pauli_terms, 94);
+/// assert!(ch4.temporal);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct MoleculeSpec {
+    /// Molecule name, e.g. `"CH4"`.
+    pub name: &'static str,
+    /// Number of qubits in the encoding.
+    pub qubits: usize,
+    /// Number of Pauli terms in the Hamiltonian (including identity).
+    pub pauli_terms: usize,
+    /// Whether the temporal-redundancy evaluation runs on this workload.
+    pub temporal: bool,
+    /// Deterministic seed for the synthetic Hamiltonian generator.
+    pub seed: u64,
+    /// A constant energy offset giving the synthetic molecule an energy
+    /// scale loosely resembling the paper's reported values.
+    pub offset: f64,
+}
+
+impl MoleculeSpec {
+    /// A short identifier like `"CH4-6"` (name-qubits), used across the
+    /// experiment harnesses and matching the paper's figure labels.
+    pub fn label(&self) -> String {
+        format!("{}-{}", self.name, self.qubits)
+    }
+
+    /// Looks up a workload from the Table 2 registry by name and qubit
+    /// count.
+    pub fn find(name: &str, qubits: usize) -> Option<MoleculeSpec> {
+        table2().into_iter().find(|m| m.name == name && m.qubits == qubits)
+    }
+}
+
+impl fmt::Display for MoleculeSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} qubits, {} Pauli terms{})",
+            self.label(),
+            self.qubits,
+            self.pauli_terms,
+            if self.temporal { ", temporal" } else { "" }
+        )
+    }
+}
+
+/// The thirteen molecular configurations of the paper's Table 2.
+///
+/// Qubit and Pauli-term counts are taken verbatim from the paper; the
+/// Hamiltonian *contents* are synthetic (see [`crate::molecular_hamiltonian`]
+/// and DESIGN.md).
+pub fn table2() -> Vec<MoleculeSpec> {
+    fn spec(
+        name: &'static str,
+        qubits: usize,
+        pauli_terms: usize,
+        temporal: bool,
+        seed: u64,
+        offset: f64,
+    ) -> MoleculeSpec {
+        MoleculeSpec {
+            name,
+            qubits,
+            pauli_terms,
+            temporal,
+            seed,
+            offset,
+        }
+    }
+    vec![
+        spec("H2", 4, 15, true, 101, 10.0),
+        spec("LiH", 6, 118, true, 102, 1.5),
+        spec("LiH", 8, 193, true, 103, 1.5),
+        spec("H2O", 6, 62, true, 104, -105.0),
+        spec("H2O", 8, 193, true, 105, -105.0),
+        spec("H2O", 12, 670, false, 106, -105.0),
+        spec("CH4", 6, 94, true, 107, -24.0),
+        spec("CH4", 8, 241, true, 108, -24.0),
+        spec("H6", 10, 919, false, 109, -3.0),
+        spec("BeH2", 12, 670, false, 110, -15.0),
+        spec("N2", 12, 660, false, 111, -108.0),
+        spec("C2H4", 20, 10510, false, 112, -78.0),
+        spec("Cr2", 34, 32699, false, 113, -2086.0),
+    ]
+}
+
+/// The subset of [`table2`] used in the temporal (full VQE) evaluations —
+/// the systems of up to 8 qubits, in the paper's Fig.14 order.
+pub fn temporal_workloads() -> Vec<MoleculeSpec> {
+    let order = [
+        ("H2", 4),
+        ("LiH", 6),
+        ("H2O", 6),
+        ("CH4", 6),
+        ("LiH", 8),
+        ("H2O", 8),
+        ("CH4", 8),
+    ];
+    order
+        .iter()
+        .map(|&(n, q)| MoleculeSpec::find(n, q).expect("registry contains all temporal workloads"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_matches_paper_counts() {
+        let t = table2();
+        assert_eq!(t.len(), 13);
+        let cr2 = MoleculeSpec::find("Cr2", 34).unwrap();
+        assert_eq!(cr2.pauli_terms, 32699);
+        assert!(!cr2.temporal);
+        let h2 = MoleculeSpec::find("H2", 4).unwrap();
+        assert_eq!(h2.pauli_terms, 15);
+    }
+
+    #[test]
+    fn temporal_workloads_are_the_seven_small_systems() {
+        let tw = temporal_workloads();
+        assert_eq!(tw.len(), 7);
+        assert!(tw.iter().all(|m| m.temporal && m.qubits <= 8));
+        assert_eq!(tw[0].label(), "H2-4");
+        assert_eq!(tw[6].label(), "CH4-8");
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let t = table2();
+        let mut labels: Vec<String> = t.iter().map(|m| m.label()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), t.len());
+    }
+
+    #[test]
+    fn seeds_are_unique() {
+        let t = table2();
+        let mut seeds: Vec<u64> = t.iter().map(|m| m.seed).collect();
+        seeds.sort();
+        seeds.dedup();
+        assert_eq!(seeds.len(), t.len());
+    }
+
+    #[test]
+    fn find_misses_return_none() {
+        assert!(MoleculeSpec::find("XeF6", 4).is_none());
+        assert!(MoleculeSpec::find("H2", 5).is_none());
+    }
+}

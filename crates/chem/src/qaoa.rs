@@ -1,0 +1,123 @@
+//! QAOA MaxCut Hamiltonians.
+//!
+//! The paper scopes its evaluation to VQE but names QAOA as the other
+//! flagship VQA (Section 2.4). MaxCut cost Hamiltonians are all-Z, so
+//! VarSaw's *temporal* optimization applies directly while the spatial
+//! one is cheap-but-trivial (a single measurement basis) — a useful
+//! boundary case for tests and extensions.
+
+use pauli::{Hamiltonian, Pauli, PauliString, PauliTerm};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The MaxCut cost Hamiltonian `C = Σ_(u,v)∈E w·(Z_u Z_v − 1)/2` for a
+/// weighted graph; its ground state encodes the maximum cut.
+///
+/// # Panics
+///
+/// Panics if an edge endpoint is out of range, a self-loop appears, or
+/// `n == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use chem::maxcut_hamiltonian;
+///
+/// // A triangle: best cut severs 2 of 3 edges.
+/// let h = maxcut_hamiltonian(3, &[(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)]);
+/// assert!((h.ground_energy(1) + 2.0).abs() < 1e-8);
+/// ```
+pub fn maxcut_hamiltonian(n: usize, edges: &[(usize, usize, f64)]) -> Hamiltonian {
+    assert!(n > 0, "graph needs at least one vertex");
+    let mut h = Hamiltonian::new(n);
+    for &(u, v, w) in edges {
+        assert!(u < n && v < n, "edge ({u}, {v}) out of range for {n} vertices");
+        assert!(u != v, "self-loop on vertex {u}");
+        let mut s = PauliString::identity(n);
+        s.set(u, Pauli::Z);
+        s.set(v, Pauli::Z);
+        h.push(PauliTerm::new(0.5 * w, s));
+        h.push(PauliTerm::new(-0.5 * w, PauliString::identity(n)));
+    }
+    h.simplify(1e-15)
+}
+
+/// A deterministic random graph for QAOA benchmarks: `n` vertices, each
+/// possible edge kept with probability `density`, unit weights.
+///
+/// # Panics
+///
+/// Panics if `density` is outside `[0, 1]`.
+pub fn random_graph(n: usize, density: f64, seed: u64) -> Vec<(usize, usize, f64)> {
+    assert!((0.0..=1.0).contains(&density), "density must lie in [0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.random::<f64>() < density {
+                edges.push((u, v, 1.0));
+            }
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_edge_cut_value() {
+        // One edge: cut it → energy −1; uncut → 0.
+        let h = maxcut_hamiltonian(2, &[(0, 1, 1.0)]);
+        assert!((h.ground_energy(1) + 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn square_graph_is_bipartite() {
+        // A 4-cycle can be fully cut: energy −4.
+        let edges = [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)];
+        let h = maxcut_hamiltonian(4, &edges);
+        assert!((h.ground_energy(1) + 4.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn weights_scale_the_cut() {
+        let h = maxcut_hamiltonian(2, &[(0, 1, 2.5)]);
+        assert!((h.ground_energy(1) + 2.5).abs() < 1e-8);
+    }
+
+    #[test]
+    fn all_terms_are_z_type() {
+        let edges = random_graph(6, 0.5, 3);
+        let h = maxcut_hamiltonian(6, &edges);
+        for t in h.measurable_terms() {
+            assert!(t
+                .string()
+                .support()
+                .iter()
+                .all(|&q| t.string().pauli_at(q) == Pauli::Z));
+        }
+        // All-Z terms group into a single measurement basis family or few.
+        let strings: Vec<PauliString> = h
+            .measurable_terms()
+            .iter()
+            .map(|t| t.string().clone())
+            .collect();
+        let groups = pauli::group_by_cover(&strings);
+        assert!(groups.len() <= strings.len());
+    }
+
+    #[test]
+    fn random_graph_is_deterministic() {
+        assert_eq!(random_graph(8, 0.4, 9), random_graph(8, 0.4, 9));
+        assert!(random_graph(8, 0.0, 1).is_empty());
+        assert_eq!(random_graph(5, 1.0, 1).len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_rejected() {
+        maxcut_hamiltonian(3, &[(1, 1, 1.0)]);
+    }
+}

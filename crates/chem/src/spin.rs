@@ -1,0 +1,109 @@
+//! Spin-chain Hamiltonians: the paper's proposed VarSaw extensions.
+//!
+//! Section 7.3 names time-evolving Hamiltonian simulation workloads —
+//! Ising, Heisenberg, XY models — as the natural next applications: their
+//! Pauli terms spread across measurement bases, which is exactly where
+//! VarSaw's spatial and temporal optimizations pay off. This module builds
+//! those Hamiltonians so the extension experiments can run on them.
+
+use pauli::{Hamiltonian, Pauli, PauliString, PauliTerm};
+
+/// The anisotropic Heisenberg (XYZ) chain
+/// `H = Σᵢ (Jx XᵢXᵢ₊₁ + Jy YᵢYᵢ₊₁ + Jz ZᵢZᵢ₊₁) − h Σᵢ Zᵢ`
+/// on `n` qubits with open boundary.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+///
+/// # Examples
+///
+/// ```
+/// use chem::heisenberg_chain;
+///
+/// let h = heisenberg_chain(4, 1.0, 1.0, 1.0, 0.5);
+/// assert_eq!(h.num_terms(), 3 * 3 + 4); // 3 couplings per bond + 4 fields
+/// ```
+pub fn heisenberg_chain(n: usize, jx: f64, jy: f64, jz: f64, h: f64) -> Hamiltonian {
+    assert!(n >= 2, "Heisenberg chain needs at least 2 qubits");
+    let mut ham = Hamiltonian::new(n);
+    for i in 0..n - 1 {
+        for (j, p) in [(jx, Pauli::X), (jy, Pauli::Y), (jz, Pauli::Z)] {
+            if j != 0.0 {
+                let mut s = PauliString::identity(n);
+                s.set(i, p);
+                s.set(i + 1, p);
+                ham.push(PauliTerm::new(j, s));
+            }
+        }
+    }
+    if h != 0.0 {
+        for q in 0..n {
+            ham.push(PauliTerm::new(-h, PauliString::single(n, q, Pauli::Z)));
+        }
+    }
+    ham
+}
+
+/// The XY chain `H = Σᵢ (Jx XᵢXᵢ₊₁ + Jy YᵢYᵢ₊₁) − h Σᵢ Zᵢ` — the
+/// Heisenberg chain with the ZZ coupling switched off.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn xy_chain(n: usize, jx: f64, jy: f64, h: f64) -> Hamiltonian {
+    heisenberg_chain(n, jx, jy, 0.0, h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heisenberg_term_count() {
+        let h = heisenberg_chain(5, 1.0, 1.0, 1.0, 0.3);
+        assert_eq!(h.num_terms(), 3 * 4 + 5);
+        assert_eq!(h.num_qubits(), 5);
+    }
+
+    #[test]
+    fn xy_chain_drops_zz() {
+        let h = xy_chain(4, 1.0, 0.8, 0.2);
+        assert_eq!(h.num_terms(), 2 * 3 + 4);
+        assert!(h
+            .iter()
+            .all(|t| t.string().weight() == 1 || !all_z(t.string())));
+    }
+
+    fn all_z(s: &PauliString) -> bool {
+        s.support().iter().all(|&q| s.pauli_at(q) == Pauli::Z)
+    }
+
+    #[test]
+    fn zero_couplings_are_omitted() {
+        let h = heisenberg_chain(3, 0.0, 0.0, 1.0, 0.0);
+        assert_eq!(h.num_terms(), 2);
+    }
+
+    #[test]
+    fn heisenberg_ground_energy_matches_known_2site_value() {
+        // Two-site isotropic antiferromagnet J(XX+YY+ZZ): singlet at −3J.
+        let h = heisenberg_chain(2, 1.0, 1.0, 1.0, 0.0);
+        assert!((h.ground_energy(3) + 3.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn bases_spread_across_measurements() {
+        // The point of the extension: these workloads need X, Y and Z bases.
+        let h = heisenberg_chain(6, 1.0, 1.0, 1.0, 0.4);
+        let strings: Vec<PauliString> = h.iter().map(|t| t.string().clone()).collect();
+        let groups = pauli::group_by_cover(&strings);
+        assert!(groups.len() >= 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 qubits")]
+    fn rejects_single_site() {
+        heisenberg_chain(1, 1.0, 1.0, 1.0, 0.0);
+    }
+}

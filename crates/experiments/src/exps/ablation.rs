@@ -1,0 +1,188 @@
+//! Ablation studies beyond the paper's figures: the Section 7.3
+//! extensions (selective term mitigation, spin-chain workloads) and the
+//! design choices DESIGN.md calls out (cover vs union grouping).
+
+use crate::harness::{adaptive, molecule_setup, parallel_map, Options};
+use crate::report::{fmt, results_path, Table};
+use chem::{heisenberg_chain, molecular_hamiltonian, xy_chain, MoleculeSpec};
+use pauli::{group_by_cover, group_by_union, PauliString};
+use qnoise::DeviceModel;
+use varsaw::{percent_gap_recovered, run_method, RunSetup, SpatialPlan, TemporalPolicy,
+    VarSawEvaluator};
+use vqe::{BaselineEvaluator, EfficientSu2, EnergyEvaluator, Entanglement, SimExecutor,
+    VqeConfig};
+
+/// Selective mitigation (Section 7.3): sweep the coefficient floor and
+/// measure the cost/accuracy trade-off at fixed parameters.
+pub fn selective_mitigation(opts: &Options) {
+    println!("Ablation: selective term mitigation (coefficient floor sweep, CH4-6)");
+    let spec = MoleculeSpec::find("CH4", 6).expect("registry");
+    let h = molecular_hamiltonian(&spec);
+    let ansatz = EfficientSu2::new(6, 2, Entanglement::Full);
+    // Tuned parameters from a noiseless run.
+    let setup = crate::harness::with_device(
+        molecule_setup(&spec, spec.seed),
+        DeviceModel::noiseless(6),
+    );
+    let params = run_method(
+        &setup,
+        varsaw::Method::Baseline,
+        &VqeConfig {
+            max_iterations: opts.iterations(),
+            max_circuits: None,
+        },
+    )
+    .trace
+    .final_params;
+
+    let dev = DeviceModel::mumbai_like();
+    let mut ideal = BaselineEvaluator::new(
+        &h,
+        ansatz.clone(),
+        SimExecutor::exact(DeviceModel::noiseless(6), 1),
+    );
+    let mut noisy = BaselineEvaluator::new(&h, ansatz.clone(), SimExecutor::exact(dev.clone(), 1));
+    let e_ideal = ideal.evaluate(&params);
+    let e_noisy = noisy.evaluate(&params);
+
+    let mut t = Table::new(["floor", "subset circuits", "% accuracy improvement"]);
+    for floor in [0.0, 0.02, 0.05, 0.1, 0.3, f64::INFINITY] {
+        let plan = SpatialPlan::with_coefficient_floor(&h, 2, floor);
+        let mut vs = VarSawEvaluator::with_coefficient_floor(
+            &h,
+            ansatz.clone(),
+            2,
+            floor,
+            TemporalPolicy::EveryIteration,
+            SimExecutor::exact(dev.clone(), 1),
+        );
+        let e_vs = vs.evaluate(&params);
+        t.row([
+            if floor.is_infinite() {
+                "inf".to_string()
+            } else {
+                format!("{floor}")
+            },
+            plan.stats().varsaw_subsets.to_string(),
+            fmt(percent_gap_recovered(e_ideal, e_noisy, e_vs)),
+        ]);
+    }
+    t.print();
+    t.write_csv(&results_path(&opts.out_dir, "ablation", "selective_mitigation.csv"));
+    println!("expected: accuracy degrades gracefully as the floor rises; floor=inf ≈ 0%");
+}
+
+/// Spin-chain workloads (Section 7.3): VarSaw on Heisenberg and XY chains.
+pub fn spin_chains(opts: &Options) {
+    println!("Ablation: VarSaw on spin-chain workloads (Heisenberg, XY — Section 7.3)");
+    let iters = opts.iterations().min(300);
+    let workloads = [
+        ("heisenberg-6", heisenberg_chain(6, 1.0, 1.0, 1.0, 0.5)),
+        ("xy-6", xy_chain(6, 1.0, 0.8, 0.5)),
+    ];
+    let mut t = Table::new([
+        "workload",
+        "exact E0",
+        "ideal",
+        "baseline",
+        "varsaw",
+        "% mitigated",
+    ]);
+    let rows = parallel_map(workloads.to_vec(), |(name, h)| {
+        let e0 = h.ground_energy(5);
+        let ansatz = EfficientSu2::new(6, 2, Entanglement::Full);
+        let config = VqeConfig {
+            max_iterations: iters,
+            max_circuits: None,
+        };
+        let run = |device: DeviceModel, method| {
+            let setup = RunSetup::new(h.clone(), ansatz.clone(), device, 77);
+            run_method(&setup, method, &config)
+                .trace
+                .converged_energy(0.1)
+        };
+        let e_ideal = run(DeviceModel::noiseless(6), varsaw::Method::Baseline);
+        let e_base = run(DeviceModel::mumbai_like(), varsaw::Method::Baseline);
+        let e_vs = run(DeviceModel::mumbai_like(), adaptive());
+        (
+            name.to_string(),
+            e0,
+            e_ideal,
+            e_base,
+            e_vs,
+            percent_gap_recovered(e_ideal, e_base, e_vs),
+        )
+    });
+    for (name, e0, e_ideal, e_base, e_vs, pct) in rows {
+        t.row([
+            name,
+            fmt(e0),
+            fmt(e_ideal),
+            fmt(e_base),
+            fmt(e_vs),
+            fmt(pct),
+        ]);
+    }
+    t.print();
+    t.write_csv(&results_path(&opts.out_dir, "ablation", "spin_chains.csv"));
+    println!("expected: positive mitigation — the extension workloads benefit like VQE does");
+}
+
+/// Grouping ablation: cover-based (the paper's trivial commutation) vs
+/// union-based grouping, for baseline circuits and VarSaw subsets.
+pub fn grouping(opts: &Options) {
+    println!("Ablation: cover-based vs union-based commutation grouping");
+    let mut t = Table::new([
+        "molecule",
+        "cover groups",
+        "union groups",
+        "cover subsets",
+        "union subsets*",
+    ]);
+    let specs: Vec<MoleculeSpec> = ["H2-4", "CH4-6", "LiH-8", "H2O-12"]
+        .iter()
+        .map(|l| {
+            let (n, q) = l.split_once('-').unwrap();
+            MoleculeSpec::find(n, q.parse().unwrap()).expect("registry")
+        })
+        .collect();
+    let rows = parallel_map(specs, |spec| {
+        let h = molecular_hamiltonian(spec);
+        let strings: Vec<PauliString> = h
+            .measurable_terms()
+            .iter()
+            .map(|x| x.string().clone())
+            .collect();
+        let cover = group_by_cover(&strings).len();
+        let union = group_by_union(&strings).len();
+        let plan = SpatialPlan::new(&h, 2);
+        // Union-grouping the same subset pool (reusing the plan's groups'
+        // bases as the pool approximation).
+        let pool: Vec<PauliString> = plan
+            .subset_groups()
+            .iter()
+            .map(|g| g.basis.clone())
+            .collect();
+        let union_subsets = group_by_union(&pool).len();
+        (
+            spec.label(),
+            cover,
+            union,
+            plan.stats().varsaw_subsets,
+            union_subsets,
+        )
+    });
+    for (label, cover, union, cover_subsets, union_subsets) in rows {
+        t.row([
+            label,
+            cover.to_string(),
+            union.to_string(),
+            cover_subsets.to_string(),
+            union_subsets.to_string(),
+        ]);
+    }
+    t.print();
+    t.write_csv(&results_path(&opts.out_dir, "ablation", "grouping.csv"));
+    println!("* union grouping of subsets can merge across windows, losing the small-subset");
+    println!("  property — which is why VarSaw uses cover grouping (see DESIGN.md §2.2)");
+}

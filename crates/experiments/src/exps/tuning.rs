@@ -1,0 +1,471 @@
+//! Full-VQE-tuning experiments: Table 1, Fig.9, Fig.13, Fig.14, Fig.15.
+
+use crate::harness::{
+    adaptive, max_sparsity, mean_converged, molecule_setup, no_sparsity, parallel_map,
+    run_trials, with_device, Options,
+};
+use crate::report::{fmt, results_path, Table};
+use chem::{molecular_hamiltonian, temporal_workloads, MoleculeSpec};
+use qnoise::DeviceModel;
+use varsaw::{percent_gap_recovered, run_method, JigsawEvaluator, Method};
+use vqe::{BaselineEvaluator, EnergyEvaluator, SimExecutor, VqeConfig};
+
+/// The tail fraction used for "converged energy" summaries.
+const TAIL: f64 = 0.1;
+
+/// The median of a sample (mean of the middle two for even sizes).
+fn median(mut xs: Vec<f64>) -> f64 {
+    assert!(!xs.is_empty(), "median of empty sample");
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        0.5 * (xs[n / 2 - 1] + xs[n / 2])
+    }
+}
+
+fn unlimited(iters: usize) -> VqeConfig {
+    VqeConfig {
+        max_iterations: iters,
+        max_circuits: None,
+    }
+}
+
+fn budgeted(budget: u64) -> VqeConfig {
+    VqeConfig {
+        max_iterations: usize::MAX >> 1,
+        max_circuits: Some(budget),
+    }
+}
+
+/// Tunes a noiseless VQE to get "optimal parameters known from ideal
+/// simulation" (Table 1's setup).
+fn noiseless_optimal_params(spec: &MoleculeSpec, iters: usize) -> Vec<f64> {
+    let setup = with_device(
+        molecule_setup(spec, spec.seed),
+        DeviceModel::noiseless(spec.qubits),
+    );
+    let out = run_method(&setup, Method::Baseline, &unlimited(iters));
+    out.trace.final_params
+}
+
+/// Table 1: JigSaw at the circuit level — for a VQE instance parameterized
+/// at (noiselessly tuned) optimal parameters, compare the reference energy,
+/// the noisy estimate, and the JigSaw-mitigated estimate.
+pub fn table1(opts: &Options) {
+    println!("Table 1: circuit-level JigSaw on VQE instances at optimal parameters");
+    let specs: Vec<MoleculeSpec> = [("LiH", 6), ("H2O", 6), ("H2", 4), ("CH4", 6)]
+        .iter()
+        .map(|&(n, q)| MoleculeSpec::find(n, q).expect("registry"))
+        .collect();
+    let iters = opts.iterations();
+    let rows = parallel_map(specs, |spec| {
+        let h = molecular_hamiltonian(spec);
+        let reference = h.ground_energy(spec.seed);
+        let params = noiseless_optimal_params(spec, iters);
+        let setup = molecule_setup(spec, spec.seed);
+        // Deterministic single-instance evaluations (exact channel, no
+        // shot noise).
+        let mut noisy = BaselineEvaluator::new(
+            &h,
+            setup.ansatz.clone(),
+            SimExecutor::exact(setup.device.clone(), 1),
+        );
+        let mut jig = JigsawEvaluator::new(
+            &h,
+            setup.ansatz.clone(),
+            setup.window,
+            SimExecutor::exact(setup.device.clone(), 1),
+        );
+        let mut ideal = BaselineEvaluator::new(
+            &h,
+            setup.ansatz.clone(),
+            SimExecutor::exact(DeviceModel::noiseless(spec.qubits), 1),
+        );
+        let e_ideal = ideal.evaluate(&params);
+        let e_noisy = noisy.evaluate(&params);
+        let e_jig = jig.evaluate(&params);
+        (
+            spec.label(),
+            reference,
+            e_ideal,
+            e_noisy,
+            e_jig,
+            percent_gap_recovered(e_ideal, e_noisy, e_jig),
+        )
+    });
+    let mut t = Table::new([
+        "workload",
+        "ref energy",
+        "ideal@params",
+        "noisy vqe",
+        "vqe+jigsaw",
+        "% recovered",
+    ]);
+    let mut recs = Vec::new();
+    for (label, reference, e_ideal, e_noisy, e_jig, rec) in rows {
+        recs.push(rec);
+        t.row([
+            label,
+            fmt(reference),
+            fmt(e_ideal),
+            fmt(e_noisy),
+            fmt(e_jig),
+            fmt(rec),
+        ]);
+    }
+    t.print();
+    t.write_csv(&results_path(&opts.out_dir, "table1", "table1.csv"));
+    println!(
+        "paper shape: JigSaw recovers >70% of the measurement-error gap; measured mean: {:.0}%",
+        recs.iter().sum::<f64>() / recs.len() as f64
+    );
+}
+
+/// Writes an energy-vs-iteration series CSV with one column per scenario.
+pub(crate) fn write_series_pub(
+    opts: &Options,
+    id: &str,
+    file: &str,
+    columns: &[(&str, &varsaw::MethodOutcome)],
+) {
+    let mut t = Table::new(
+        std::iter::once("iteration".to_string())
+            .chain(columns.iter().flat_map(|(name, _)| {
+                [format!("{name}:energy"), format!("{name}:circuits")]
+            }))
+            .collect::<Vec<_>>(),
+    );
+    let len = columns
+        .iter()
+        .map(|(_, o)| o.trace.iterations())
+        .max()
+        .unwrap_or(0);
+    for i in 0..len {
+        let mut row = vec![i.to_string()];
+        for (_, o) in columns {
+            match o.trace.energies.get(i) {
+                Some(e) => {
+                    row.push(format!("{e:.6}"));
+                    row.push(o.trace.circuits[i].to_string());
+                }
+                None => {
+                    row.push(String::new());
+                    row.push(String::new());
+                }
+            }
+        }
+        t.row(row);
+    }
+    t.write_csv(&results_path(&opts.out_dir, id, file));
+}
+
+/// Fig.9: Max-Sparsity vs No-Sparsity on CH4-6, noise-free and noisy, at a
+/// fixed circuit budget.
+pub fn fig9(opts: &Options) {
+    println!("Fig.9: temporal sparsity extremes on CH4-6 (fixed circuit budget)");
+    let spec = MoleculeSpec::find("CH4", 6).expect("registry");
+    let iters = opts.iterations();
+    // Budget: what No-Sparsity needs for the full iteration count.
+    let probe = run_method(&molecule_setup(&spec, 1), no_sparsity(), &unlimited(8));
+    let per_iter = probe.trace.total_circuits() / 8;
+    let budget = per_iter * iters as u64;
+
+    let scenarios = [
+        ("noise-free", DeviceModel::noiseless(spec.qubits)),
+        ("noisy", DeviceModel::mumbai_like()),
+    ];
+    let mut t = Table::new([
+        "scenario",
+        "policy",
+        "iterations",
+        "circuits",
+        "converged energy",
+    ]);
+    for (name, device) in scenarios {
+        let outs = parallel_map(vec![no_sparsity(), max_sparsity()], |&m| {
+            run_method(
+                &with_device(molecule_setup(&spec, 11), device.clone()),
+                m,
+                &budgeted(budget),
+            )
+        });
+        write_series_pub(
+            opts,
+            "fig9",
+            &format!("fig9_{name}.csv"),
+            &[("no-sparsity", &outs[0]), ("max-sparsity", &outs[1])],
+        );
+        for (policy, o) in [("no-sparsity", &outs[0]), ("max-sparsity", &outs[1])] {
+            t.row([
+                name.to_string(),
+                policy.to_string(),
+                o.trace.iterations().to_string(),
+                o.trace.total_circuits().to_string(),
+                fmt(o.trace.converged_energy(TAIL)),
+            ]);
+        }
+    }
+    t.print();
+    t.write_csv(&results_path(&opts.out_dir, "fig9", "fig9_summary.csv"));
+    println!("paper shape: noise-free → max-sparsity much worse; noisy → comparable-or-better,");
+    println!("             and max-sparsity always completes more iterations");
+}
+
+/// Fig.13: the four scenarios on CH4-6 under one fixed circuit budget.
+pub fn fig13(opts: &Options) {
+    println!("Fig.13: CH4-6 energy vs iteration at a fixed circuit budget");
+    let spec = MoleculeSpec::find("CH4", 6).expect("registry");
+    let iters = opts.iterations();
+    let probe = run_method(&molecule_setup(&spec, 3), adaptive(), &unlimited(8));
+    let per_iter = probe.trace.total_circuits() / 8;
+    let budget = per_iter * iters as u64;
+
+    let jobs: Vec<(&str, Method, DeviceModel)> = vec![
+        ("ideal", Method::Baseline, DeviceModel::noiseless(spec.qubits)),
+        ("baseline", Method::Baseline, DeviceModel::mumbai_like()),
+        ("jigsaw", Method::Jigsaw, DeviceModel::mumbai_like()),
+        ("varsaw", adaptive(), DeviceModel::mumbai_like()),
+    ];
+    let outs = parallel_map(jobs, |(name, m, dev)| {
+        (
+            *name,
+            run_method(
+                &with_device(molecule_setup(&spec, 17), dev.clone()),
+                *m,
+                &budgeted(budget),
+            ),
+        )
+    });
+    let columns: Vec<(&str, &varsaw::MethodOutcome)> =
+        outs.iter().map(|(n, o)| (*n, o)).collect();
+    write_series_pub(opts, "fig13", "fig13_series.csv", &columns);
+
+    let h = molecular_hamiltonian(&spec);
+    let reference = h.ground_energy(spec.seed);
+    let mut t = Table::new(["scenario", "iterations", "circuits", "converged energy"]);
+    for (name, o) in &outs {
+        t.row([
+            name.to_string(),
+            o.trace.iterations().to_string(),
+            o.trace.total_circuits().to_string(),
+            fmt(o.trace.converged_energy(TAIL)),
+        ]);
+    }
+    t.row([
+        "reference (exact E0)".to_string(),
+        String::new(),
+        String::new(),
+        fmt(reference),
+    ]);
+    t.print();
+    t.write_csv(&results_path(&opts.out_dir, "fig13", "fig13_summary.csv"));
+    println!("paper shape: varsaw ≈ ideal; jigsaw completes a fraction of the iterations and");
+    println!("             lands above the baseline under the same budget");
+}
+
+/// Fig.14: % of the noisy-VQE inaccuracy (vs. Ideal) mitigated by VarSaw,
+/// plus the optimal Global-execution fraction, for the seven temporal
+/// workloads.
+pub fn fig14(opts: &Options) {
+    println!("Fig.14: VarSaw accuracy recovery vs the noisy baseline (unbounded iterations)");
+    let iters = opts.iterations();
+    let trials = opts.trials();
+    let specs = temporal_workloads();
+    let rows = parallel_map(specs, |spec| {
+        let ideal = run_trials(
+            |s| {
+                with_device(
+                    molecule_setup(spec, s ^ spec.seed),
+                    DeviceModel::noiseless(spec.qubits),
+                )
+            },
+            Method::Baseline,
+            &unlimited(iters),
+            trials,
+        );
+        let baseline = run_trials(
+            |s| molecule_setup(spec, s ^ spec.seed),
+            Method::Baseline,
+            &unlimited(iters),
+            trials,
+        );
+        let varsaw = run_trials(
+            |s| molecule_setup(spec, s ^ spec.seed),
+            adaptive(),
+            &unlimited(iters),
+            trials,
+        );
+        let e_ideal = mean_converged(&ideal, TAIL);
+        let e_base = mean_converged(&baseline, TAIL);
+        let e_vs = mean_converged(&varsaw, TAIL);
+        let frac = varsaw
+            .iter()
+            .map(|o| o.global_fraction.unwrap_or(0.0))
+            .sum::<f64>()
+            / varsaw.len() as f64;
+        // Pair trials by seed and take the median percentage — robust to
+        // the occasional trial where the ideal/baseline gap degenerates.
+        let per_trial: Vec<f64> = ideal
+            .iter()
+            .zip(&baseline)
+            .zip(&varsaw)
+            .map(|((i, b), v)| {
+                percent_gap_recovered(
+                    i.trace.converged_energy(TAIL),
+                    b.trace.converged_energy(TAIL),
+                    v.trace.converged_energy(TAIL),
+                )
+            })
+            .collect();
+        (
+            spec.label(),
+            e_ideal,
+            e_base,
+            e_vs,
+            median(per_trial),
+            frac,
+        )
+    });
+    let mut t = Table::new([
+        "molecule",
+        "ideal",
+        "baseline",
+        "varsaw",
+        "% mitigated",
+        "global fraction",
+    ]);
+    let mut percents = Vec::new();
+    let mut fracs = Vec::new();
+    for (label, e_ideal, e_base, e_vs, pct, frac) in rows {
+        percents.push(pct);
+        fracs.push(frac);
+        t.row([
+            label,
+            fmt(e_ideal),
+            fmt(e_base),
+            fmt(e_vs),
+            fmt(pct),
+            format!("{frac:.4}"),
+        ]);
+    }
+    let mean_pct = percents.iter().sum::<f64>() / percents.len() as f64;
+    let mean_frac = fracs.iter().sum::<f64>() / fracs.len() as f64;
+    t.row([
+        "Mean".to_string(),
+        String::new(),
+        String::new(),
+        String::new(),
+        fmt(mean_pct),
+        format!("{mean_frac:.4}"),
+    ]);
+    t.print();
+    t.write_csv(&results_path(&opts.out_dir, "fig14", "fig14.csv"));
+    println!(
+        "paper shape: 13–86% mitigated (mean 45%), global fraction ~0.01; measured mean {:.0}%, fraction {:.3}",
+        mean_pct, mean_frac
+    );
+}
+
+/// Fig.15: % of the VQE inaccuracy over JigSaw mitigated by VarSaw under a
+/// fixed circuit budget.
+pub fn fig15(opts: &Options) {
+    println!("Fig.15: VarSaw vs JigSaw at a fixed circuit budget");
+    let iters = opts.iterations();
+    let trials = opts.trials();
+    let specs = temporal_workloads();
+    let rows = parallel_map(specs, |spec| {
+        // Budget: what VarSaw needs for the full iteration count.
+        let probe = run_method(&molecule_setup(spec, 5), adaptive(), &unlimited(8));
+        let budget = (probe.trace.total_circuits() / 8) * iters as u64;
+        let ideal = run_trials(
+            |s| {
+                with_device(
+                    molecule_setup(spec, s ^ spec.seed),
+                    DeviceModel::noiseless(spec.qubits),
+                )
+            },
+            Method::Baseline,
+            &unlimited(iters),
+            trials,
+        );
+        let jig = run_trials(
+            |s| molecule_setup(spec, s ^ spec.seed),
+            Method::Jigsaw,
+            &budgeted(budget),
+            trials,
+        );
+        let vs = run_trials(
+            |s| molecule_setup(spec, s ^ spec.seed),
+            adaptive(),
+            &budgeted(budget),
+            trials,
+        );
+        let e_ideal = mean_converged(&ideal, TAIL);
+        let e_jig = mean_converged(&jig, 0.3); // short traces: wider tail
+        let e_vs = mean_converged(&vs, TAIL);
+        let jig_iters =
+            jig.iter().map(|o| o.trace.iterations()).sum::<usize>() / jig.len();
+        let vs_iters = vs.iter().map(|o| o.trace.iterations()).sum::<usize>() / vs.len();
+        let per_trial: Vec<f64> = ideal
+            .iter()
+            .zip(&jig)
+            .zip(&vs)
+            .map(|((i, j), v)| {
+                percent_gap_recovered(
+                    i.trace.converged_energy(TAIL),
+                    j.trace.converged_energy(0.3),
+                    v.trace.converged_energy(TAIL),
+                )
+            })
+            .collect();
+        (
+            spec.label(),
+            e_ideal,
+            e_jig,
+            e_vs,
+            jig_iters,
+            vs_iters,
+            median(per_trial),
+        )
+    });
+    let mut t = Table::new([
+        "molecule",
+        "ideal",
+        "jigsaw",
+        "varsaw",
+        "jigsaw iters",
+        "varsaw iters",
+        "% over jigsaw",
+    ]);
+    let mut percents = Vec::new();
+    for (label, e_ideal, e_jig, e_vs, ji, vi, pct) in rows {
+        percents.push(pct);
+        t.row([
+            label,
+            fmt(e_ideal),
+            fmt(e_jig),
+            fmt(e_vs),
+            ji.to_string(),
+            vi.to_string(),
+            fmt(pct),
+        ]);
+    }
+    let mean_pct = percents.iter().sum::<f64>() / percents.len() as f64;
+    t.row([
+        "Mean".to_string(),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+        fmt(mean_pct),
+    ]);
+    t.print();
+    t.write_csv(&results_path(&opts.out_dir, "fig15", "fig15.csv"));
+    println!(
+        "paper shape: 21–92% mitigated over JigSaw (mean 55%), VarSaw runs ~10x the iterations; measured mean {:.0}%",
+        mean_pct
+    );
+}

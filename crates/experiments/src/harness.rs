@@ -1,0 +1,169 @@
+//! Shared experiment harness: workload construction, trial running and
+//! simple parallelism.
+
+use chem::{molecular_hamiltonian, MoleculeSpec};
+use qnoise::DeviceModel;
+use varsaw::{run_method, Method, MethodOutcome, RunSetup, TemporalPolicy};
+use vqe::{EfficientSu2, Entanglement, VqeConfig};
+
+/// Global experiment options parsed from the command line.
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// Paper-scale parameters (`--full`) vs the scaled-down defaults.
+    pub full: bool,
+    /// Output directory for CSV artifacts.
+    pub out_dir: std::path::PathBuf,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            full: false,
+            out_dir: std::path::PathBuf::from("results"),
+        }
+    }
+}
+
+impl Options {
+    /// VQE iterations for the long tuning studies (paper: 2000).
+    pub fn iterations(&self) -> usize {
+        if self.full {
+            2000
+        } else {
+            240
+        }
+    }
+
+    /// Independent trials averaged per configuration (paper: up to 10).
+    pub fn trials(&self) -> u64 {
+        if self.full {
+            7
+        } else {
+            3
+        }
+    }
+
+    /// Shots per circuit.
+    pub fn shots(&self) -> u64 {
+        1024
+    }
+}
+
+/// The standard per-molecule setup of the paper's evaluation: synthetic
+/// molecular Hamiltonian, full-entanglement EfficientSU2 with 2 reps,
+/// IBMQ-Mumbai-like noise, window-2 subsets.
+pub fn molecule_setup(spec: &MoleculeSpec, seed: u64) -> RunSetup {
+    let h = molecular_hamiltonian(spec);
+    let ansatz = EfficientSu2::new(spec.qubits, 2, Entanglement::Full);
+    let mut setup = RunSetup::new(h, ansatz, DeviceModel::mumbai_like(), seed);
+    setup.shots = 1024;
+    setup
+}
+
+/// Replaces the device of a setup (noise sweeps, noiseless ideals).
+pub fn with_device(mut setup: RunSetup, device: DeviceModel) -> RunSetup {
+    setup.device = device;
+    setup
+}
+
+/// Runs `trials` seeds of the same (setup-template, method) and returns all
+/// outcomes, in seed order, computed in parallel.
+pub fn run_trials(
+    make_setup: impl Fn(u64) -> RunSetup + Sync,
+    method: Method,
+    config: &VqeConfig,
+    trials: u64,
+) -> Vec<MethodOutcome> {
+    parallel_map(
+        (0..trials).collect::<Vec<_>>(),
+        |&t| {
+            let setup = make_setup(1000 + t * 7919);
+            run_method(&setup, method, config)
+        },
+    )
+}
+
+/// The mean converged energy across trial outcomes (tail-averaged traces).
+pub fn mean_converged(outcomes: &[MethodOutcome], tail: f64) -> f64 {
+    let sum: f64 = outcomes
+        .iter()
+        .map(|o| o.trace.converged_energy(tail))
+        .sum();
+    sum / outcomes.len() as f64
+}
+
+/// Simple scoped-thread parallel map preserving input order.
+pub fn parallel_map<T: Sync, R: Send>(items: Vec<T>, f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let slots: Vec<std::sync::Mutex<&mut Option<R>>> =
+        results.iter_mut().map(std::sync::Mutex::new).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&items[i]);
+                **slots[i].lock().expect("slot lock") = Some(r);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("all slots filled"))
+        .collect()
+}
+
+/// The paper's default VarSaw temporal policy for experiments.
+pub fn adaptive() -> Method {
+    Method::VarSaw(TemporalPolicy::Adaptive {
+        initial_interval: 2,
+    })
+}
+
+/// VarSaw with Globals every evaluation ("no sparsity").
+pub fn no_sparsity() -> Method {
+    Method::VarSaw(TemporalPolicy::EveryIteration)
+}
+
+/// VarSaw with a single Global ("max sparsity").
+pub fn max_sparsity() -> Method {
+    Method::VarSaw(TemporalPolicy::OneShot)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map((0..50).collect(), |&x| x * 2);
+        assert_eq!(out, (0..50).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_empty_is_empty() {
+        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn molecule_setup_uses_paper_defaults() {
+        let spec = MoleculeSpec::find("H2", 4).unwrap();
+        let setup = molecule_setup(&spec, 1);
+        assert_eq!(setup.window, 2);
+        assert_eq!(setup.shots, 1024);
+        assert_eq!(setup.ansatz.num_qubits(), 4);
+        assert_eq!(setup.ansatz.reps(), 2);
+    }
+}

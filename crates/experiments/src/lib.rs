@@ -1,0 +1,6 @@
+//! Experiment harnesses regenerating every table and figure of the VarSaw
+//! paper's evaluation (see DESIGN.md for the experiment index).
+
+pub mod exps;
+pub mod harness;
+pub mod report;

@@ -1,0 +1,116 @@
+//! Measurement shot counts.
+
+use crate::pmf::Pmf;
+use std::fmt;
+
+/// Raw measurement counts over a set of measured qubits.
+///
+/// Bit `j` of an outcome index is the measured value of `qubits[j]`, as in
+/// [`Pmf`].
+///
+/// # Examples
+///
+/// ```
+/// use mitigation::Counts;
+///
+/// let c = Counts::new(vec![0, 1], vec![512, 0, 0, 512]);
+/// assert_eq!(c.shots(), 1024);
+/// let pmf = c.to_pmf();
+/// assert_eq!(pmf.prob(0b00), 0.5);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Counts {
+    qubits: Vec<usize>,
+    counts: Vec<u64>,
+}
+
+impl Counts {
+    /// Creates counts over `qubits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts.len() != 2^qubits.len()`, a qubit repeats, or all
+    /// counts are zero.
+    pub fn new(qubits: Vec<usize>, counts: Vec<u64>) -> Self {
+        assert_eq!(
+            counts.len(),
+            1usize << qubits.len(),
+            "{} counts for {} qubits",
+            counts.len(),
+            qubits.len()
+        );
+        for (i, &q) in qubits.iter().enumerate() {
+            assert!(!qubits[..i].contains(&q), "qubit {q} repeated");
+        }
+        assert!(counts.iter().any(|&c| c > 0), "all counts are zero");
+        Counts { qubits, counts }
+    }
+
+    /// The measured qubits, in index-bit order.
+    pub fn qubits(&self) -> &[usize] {
+        &self.qubits
+    }
+
+    /// The per-outcome counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// The total number of shots.
+    pub fn shots(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The empirical distribution.
+    pub fn to_pmf(&self) -> Pmf {
+        let shots = self.shots() as f64;
+        Pmf::new(
+            self.qubits.clone(),
+            self.counts.iter().map(|&c| c as f64 / shots).collect(),
+        )
+    }
+}
+
+impl fmt::Display for Counts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "counts over qubits {:?} ({} shots):", self.qubits, self.shots())?;
+        for (x, c) in self.counts.iter().enumerate() {
+            if *c > 0 {
+                writeln!(f, "  {x:0width$b}: {c}", width = self.qubits.len().max(1))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pmf_conversion_normalizes() {
+        let c = Counts::new(vec![3], vec![300, 100]);
+        let pmf = c.to_pmf();
+        assert!((pmf.prob(0) - 0.75).abs() < 1e-12);
+        assert!((pmf.prob(1) - 0.25).abs() < 1e-12);
+        assert_eq!(pmf.qubits(), &[3]);
+    }
+
+    #[test]
+    fn shots_sum_counts() {
+        let c = Counts::new(vec![0, 1], vec![1, 2, 3, 4]);
+        assert_eq!(c.shots(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "all counts are zero")]
+    fn empty_counts_rejected() {
+        Counts::new(vec![0], vec![0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "counts for")]
+    fn wrong_length_rejected() {
+        Counts::new(vec![0, 1], vec![1, 2]);
+    }
+}

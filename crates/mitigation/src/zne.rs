@@ -1,0 +1,143 @@
+//! Zero-noise extrapolation (ZNE).
+//!
+//! The other mainstream VQA error-mitigation family (the paper's related
+//! work, Kandala et al. 2019): measure the observable at several
+//! *amplified* noise levels and Richardson-extrapolate back to zero noise.
+//! It composes naturally with this crate's measurement-error machinery —
+//! our noise amplification knob is [`qnoise::DeviceModel::scaled`] — and
+//! gives the repository a second mitigation baseline to compare VarSaw
+//! against.
+
+/// Richardson extrapolation of measurements `(scale, value)` to scale 0.
+///
+/// Fits the unique polynomial of degree `points − 1` through the samples
+/// (Lagrange form evaluated at 0). With two points this is linear
+/// extrapolation; more points fit higher-order noise dependence but
+/// amplify statistical noise — two or three points is standard practice.
+///
+/// # Panics
+///
+/// Panics if fewer than two points are given or two points share a scale.
+///
+/// # Examples
+///
+/// ```
+/// use mitigation::richardson_extrapolate;
+///
+/// // A linearly degrading observable: value = 1 − 0.2·scale.
+/// let z = richardson_extrapolate(&[(1.0, 0.8), (2.0, 0.6)]);
+/// assert!((z - 1.0).abs() < 1e-12);
+/// ```
+pub fn richardson_extrapolate(points: &[(f64, f64)]) -> f64 {
+    assert!(
+        points.len() >= 2,
+        "extrapolation needs at least two noise scales"
+    );
+    for (i, &(si, _)) in points.iter().enumerate() {
+        for &(sj, _) in &points[..i] {
+            assert!(
+                (si - sj).abs() > 1e-12,
+                "duplicate noise scale {si} in extrapolation"
+            );
+        }
+    }
+    // Lagrange interpolation evaluated at scale 0.
+    let mut total = 0.0;
+    for (i, &(si, yi)) in points.iter().enumerate() {
+        let mut weight = 1.0;
+        for (j, &(sj, _)) in points.iter().enumerate() {
+            if i != j {
+                weight *= (0.0 - sj) / (si - sj);
+            }
+        }
+        total += weight * yi;
+    }
+    total
+}
+
+/// Runs ZNE over a caller-supplied noisy evaluation: `evaluate(scale)`
+/// must measure the observable with the device noise amplified by
+/// `scale`, and the result is the extrapolation of those measurements to
+/// zero noise.
+///
+/// # Panics
+///
+/// Panics if fewer than two scales are given, any scale is
+/// non-positive, or scales repeat.
+///
+/// # Examples
+///
+/// ```
+/// use mitigation::zero_noise_extrapolate;
+///
+/// // A quadratic noise response: E(s) = −2 + 0.3·s + 0.05·s².
+/// let e0 = zero_noise_extrapolate(&[1.0, 2.0, 3.0], |s| -2.0 + 0.3 * s + 0.05 * s * s);
+/// assert!((e0 + 2.0).abs() < 1e-10);
+/// ```
+pub fn zero_noise_extrapolate(scales: &[f64], mut evaluate: impl FnMut(f64) -> f64) -> f64 {
+    assert!(scales.len() >= 2, "ZNE needs at least two noise scales");
+    assert!(
+        scales.iter().all(|&s| s > 0.0),
+        "noise scales must be positive"
+    );
+    let points: Vec<(f64, f64)> = scales.iter().map(|&s| (s, evaluate(s))).collect();
+    richardson_extrapolate(&points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_extrapolation_is_exact_for_linear_noise() {
+        let z = richardson_extrapolate(&[(1.0, 0.9), (3.0, 0.7)]);
+        assert!((z - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quadratic_fit_recovers_quadratic_response() {
+        let f = |s: f64| 5.0 - 2.0 * s + 0.5 * s * s;
+        let z = richardson_extrapolate(&[(1.0, f(1.0)), (2.0, f(2.0)), (3.0, f(3.0))]);
+        assert!((z - 5.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn zne_against_a_simulated_device() {
+        // End-to-end: readout noise shrinks ⟨ZZ⟩ from 1; ZNE over device
+        // scalings should recover most of the loss.
+        use qnoise::{apply_readout_errors, DeviceModel};
+        let measure = |scale: f64| {
+            let dev = DeviceModel::uniform(2, 0.04).scaled(scale);
+            let mut probs = vec![1.0, 0.0, 0.0, 0.0];
+            let errs: Vec<_> = (0..2).map(|q| dev.readout(q)).collect();
+            apply_readout_errors(&mut probs, &errs);
+            // ⟨ZZ⟩ from the distribution.
+            probs[0b00] - probs[0b01] - probs[0b10] + probs[0b11]
+        };
+        let noisy = measure(1.0);
+        let mitigated = zero_noise_extrapolate(&[1.0, 1.5, 2.0], measure);
+        assert!(noisy < 0.95);
+        assert!(
+            (mitigated - 1.0).abs() < (noisy - 1.0).abs() * 0.2,
+            "noisy {noisy}, mitigated {mitigated}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn single_point_rejected() {
+        richardson_extrapolate(&[(1.0, 0.5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate noise scale")]
+    fn duplicate_scale_rejected() {
+        richardson_extrapolate(&[(1.0, 0.5), (1.0, 0.6)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn nonpositive_scale_rejected() {
+        zero_noise_extrapolate(&[0.0, 1.0], |_| 0.0);
+    }
+}

@@ -1,0 +1,229 @@
+//! Pauli group algebra: products, phases and full commutation.
+//!
+//! The paper restricts its pipeline to *qubit-wise* commutation
+//! (never-deeper circuits), but notes that general commuting families
+//! (Gokhale et al.) can reduce terms further at extra circuit cost. This
+//! module supplies the algebra needed to reason about that: the group
+//! product `P·Q` with its phase, and the symplectic full-commutation test.
+
+use crate::pauli::Pauli;
+use crate::string::PauliString;
+use std::fmt;
+
+/// A fourth root of unity — the phase of a Pauli product.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// `+1`
+    #[default]
+    PlusOne,
+    /// `+i`
+    PlusI,
+    /// `−1`
+    MinusOne,
+    /// `−i`
+    MinusI,
+}
+
+impl Phase {
+    /// The phase as an exponent of `i` (0..=3).
+    pub fn exponent(self) -> u8 {
+        match self {
+            Phase::PlusOne => 0,
+            Phase::PlusI => 1,
+            Phase::MinusOne => 2,
+            Phase::MinusI => 3,
+        }
+    }
+
+    /// Builds a phase from an exponent of `i` (taken mod 4).
+    pub fn from_exponent(e: u8) -> Self {
+        match e % 4 {
+            0 => Phase::PlusOne,
+            1 => Phase::PlusI,
+            2 => Phase::MinusOne,
+            _ => Phase::MinusI,
+        }
+    }
+
+    /// Multiplies two phases.
+    pub fn times(self, other: Phase) -> Phase {
+        Phase::from_exponent(self.exponent() + other.exponent())
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Phase::PlusOne => "+1",
+            Phase::PlusI => "+i",
+            Phase::MinusOne => "-1",
+            Phase::MinusI => "-i",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Single-qubit product `a·b = phase · c`.
+fn mul_single(a: Pauli, b: Pauli) -> (Phase, Pauli) {
+    use Pauli::*;
+    match (a, b) {
+        (I, p) | (p, I) => (Phase::PlusOne, p),
+        (X, X) | (Y, Y) | (Z, Z) => (Phase::PlusOne, I),
+        (X, Y) => (Phase::PlusI, Z),
+        (Y, X) => (Phase::MinusI, Z),
+        (Y, Z) => (Phase::PlusI, X),
+        (Z, Y) => (Phase::MinusI, X),
+        (Z, X) => (Phase::PlusI, Y),
+        (X, Z) => (Phase::MinusI, Y),
+    }
+}
+
+/// The Pauli group product `a·b`, returning the overall phase and the
+/// resulting string.
+///
+/// # Panics
+///
+/// Panics if the strings have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use pauli::{pauli_product, PauliString, Phase};
+///
+/// let x: PauliString = "XI".parse().unwrap();
+/// let y: PauliString = "YI".parse().unwrap();
+/// let (phase, prod) = pauli_product(&x, &y);
+/// assert_eq!(phase, Phase::PlusI);
+/// assert_eq!(prod.to_string(), "ZI");
+/// ```
+pub fn pauli_product(a: &PauliString, b: &PauliString) -> (Phase, PauliString) {
+    assert_eq!(a.num_qubits(), b.num_qubits(), "qubit count mismatch");
+    let mut phase = Phase::PlusOne;
+    let paulis = a
+        .paulis()
+        .iter()
+        .zip(b.paulis())
+        .map(|(&pa, &pb)| {
+            let (ph, p) = mul_single(pa, pb);
+            phase = phase.times(ph);
+            p
+        })
+        .collect();
+    (phase, PauliString::new(paulis))
+}
+
+/// Full (symplectic) commutation: two Pauli strings commute as operators
+/// iff they anticommute on an even number of positions.
+///
+/// This is strictly weaker than qubit-wise compatibility — e.g. `XX` and
+/// `YY` fully commute but are not qubit-wise compatible — and measuring a
+/// general commuting family needs entangling basis changes, which is why
+/// the paper sticks to the qubit-wise relation (Section 3.1).
+///
+/// # Panics
+///
+/// Panics if the strings have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use pauli::{fully_commute, PauliString};
+///
+/// let xx: PauliString = "XX".parse().unwrap();
+/// let yy: PauliString = "YY".parse().unwrap();
+/// let zi: PauliString = "ZI".parse().unwrap();
+/// assert!(fully_commute(&xx, &yy));       // not qubit-wise, but commuting
+/// assert!(!fully_commute(&xx, &zi));
+/// ```
+pub fn fully_commute(a: &PauliString, b: &PauliString) -> bool {
+    assert_eq!(a.num_qubits(), b.num_qubits(), "qubit count mismatch");
+    let anticommuting_positions = a
+        .paulis()
+        .iter()
+        .zip(b.paulis())
+        .filter(|(&pa, &pb)| {
+            !pa.is_identity() && !pb.is_identity() && pa != pb
+        })
+        .count();
+    anticommuting_positions % 2 == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ps(s: &str) -> PauliString {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn single_qubit_products_follow_the_algebra() {
+        // XY = iZ, YX = −iZ, ZZ = I.
+        assert_eq!(mul_single(Pauli::X, Pauli::Y), (Phase::PlusI, Pauli::Z));
+        assert_eq!(mul_single(Pauli::Y, Pauli::X), (Phase::MinusI, Pauli::Z));
+        assert_eq!(mul_single(Pauli::Z, Pauli::Z), (Phase::PlusOne, Pauli::I));
+    }
+
+    #[test]
+    fn phases_form_a_cyclic_group() {
+        assert_eq!(Phase::PlusI.times(Phase::PlusI), Phase::MinusOne);
+        assert_eq!(Phase::MinusI.times(Phase::PlusI), Phase::PlusOne);
+        assert_eq!(Phase::MinusOne.times(Phase::MinusOne), Phase::PlusOne);
+        for e in 0..8u8 {
+            assert_eq!(Phase::from_exponent(e).exponent(), e % 4);
+        }
+    }
+
+    #[test]
+    fn product_of_string_with_itself_is_identity() {
+        for s in ["XYZ", "ZZZZ", "IXIY"] {
+            let (phase, prod) = pauli_product(&ps(s), &ps(s));
+            assert_eq!(phase, Phase::PlusOne);
+            assert!(prod.is_identity());
+        }
+    }
+
+    #[test]
+    fn multi_qubit_product_accumulates_phase() {
+        // (X⊗X)·(Y⊗Y) = (iZ)⊗(iZ) = −(Z⊗Z).
+        let (phase, prod) = pauli_product(&ps("XX"), &ps("YY"));
+        assert_eq!(phase, Phase::MinusOne);
+        assert_eq!(prod, ps("ZZ"));
+    }
+
+    #[test]
+    fn commutation_examples() {
+        assert!(fully_commute(&ps("XX"), &ps("YY")));
+        assert!(fully_commute(&ps("XX"), &ps("ZZ")));
+        assert!(!fully_commute(&ps("XI"), &ps("ZI")));
+        assert!(fully_commute(&ps("XI"), &ps("IZ")));
+        assert!(fully_commute(&ps("XYZ"), &ps("XYZ")));
+    }
+
+    #[test]
+    fn qubitwise_compatible_implies_fully_commuting() {
+        let samples = ["XIZ", "IXZ", "ZZZ", "XXI", "IYI", "YYZ"];
+        for a in samples {
+            for b in samples {
+                let (a, b) = (ps(a), ps(b));
+                if a.qubitwise_compatible(&b) {
+                    assert!(fully_commute(&a, &b), "{a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn commutation_matches_product_order() {
+        // a and b commute iff ab and ba have the same phase.
+        let samples = ["XY", "YZ", "ZI", "XX", "YY", "IZ"];
+        for a in samples {
+            for b in samples {
+                let (a, b) = (ps(a), ps(b));
+                let (pab, _) = pauli_product(&a, &b);
+                let (pba, _) = pauli_product(&b, &a);
+                assert_eq!(fully_commute(&a, &b), pab == pba, "{a} vs {b}");
+            }
+        }
+    }
+}

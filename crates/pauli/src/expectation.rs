@@ -1,0 +1,117 @@
+//! Pauli expectation values from measured outcome distributions.
+
+use crate::string::PauliString;
+
+/// Computes the expectation value of a Pauli string from an outcome
+/// distribution over a measured-qubit subset.
+///
+/// `probs` is a distribution over `2^measured.len()` outcomes where bit `j`
+/// of the index is the outcome of qubit `measured[j]` (the compact layout
+/// produced by [`qsim::Statevector::marginal_probabilities`] and by the
+/// mitigation PMF types). The string must be *covered* by the measurement:
+/// every qubit in its support must appear in `measured`. Identity positions
+/// contribute nothing; the value is
+/// `Σ_x p(x) · (-1)^(parity of x over the support)`.
+///
+/// # Panics
+///
+/// Panics if `probs.len() != 2^measured.len()` or if some support qubit of
+/// `string` was not measured.
+///
+/// # Examples
+///
+/// ```
+/// use pauli::{expectation_from_probs, PauliString};
+///
+/// // Distribution over qubits [0, 2]: outcome 0b01 (qubit0=1, qubit2=0)
+/// // with probability 1.
+/// let probs = [0.0, 1.0, 0.0, 0.0];
+/// let z0: PauliString = "ZII".parse().unwrap();
+/// let z2: PauliString = "IIZ".parse().unwrap();
+/// assert_eq!(expectation_from_probs(&z0, &probs, &[0, 2]), -1.0);
+/// assert_eq!(expectation_from_probs(&z2, &probs, &[0, 2]), 1.0);
+/// ```
+pub fn expectation_from_probs(string: &PauliString, probs: &[f64], measured: &[usize]) -> f64 {
+    assert_eq!(
+        probs.len(),
+        1usize << measured.len(),
+        "distribution size {} does not match {} measured qubits",
+        probs.len(),
+        measured.len()
+    );
+    let mut parity_mask = 0usize;
+    for q in string.support() {
+        let j = measured
+            .iter()
+            .position(|&m| m == q)
+            .unwrap_or_else(|| panic!("support qubit {q} of {string} was not measured"));
+        parity_mask |= 1 << j;
+    }
+    let mut acc = 0.0;
+    for (x, &p) in probs.iter().enumerate() {
+        if (x & parity_mask).count_ones() % 2 == 0 {
+            acc += p;
+        } else {
+            acc -= p;
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ps(s: &str) -> PauliString {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn deterministic_outcomes() {
+        // qubits [1, 3] measured; outcome (q1=1, q3=1) certain.
+        let probs = [0.0, 0.0, 0.0, 1.0];
+        assert_eq!(expectation_from_probs(&ps("IZII"), &probs, &[1, 3]), -1.0);
+        assert_eq!(expectation_from_probs(&ps("IZIZ"), &probs, &[1, 3]), 1.0);
+    }
+
+    #[test]
+    fn uniform_distribution_gives_zero() {
+        let probs = [0.25; 4];
+        assert_eq!(expectation_from_probs(&ps("ZI"), &probs, &[0, 1]), 0.0);
+        assert_eq!(expectation_from_probs(&ps("ZZ"), &probs, &[0, 1]), 0.0);
+    }
+
+    #[test]
+    fn identity_string_has_expectation_one() {
+        let probs = [0.3, 0.7];
+        assert_eq!(expectation_from_probs(&ps("II"), &probs, &[1]), 1.0);
+    }
+
+    #[test]
+    fn basis_positions_are_ignored_beyond_support() {
+        // The string's Paulis may be X or Y — only support parity matters,
+        // because the measurement circuit already rotated those bases to Z.
+        let probs = [0.0, 1.0];
+        assert_eq!(expectation_from_probs(&ps("XI"), &probs, &[0]), -1.0);
+        assert_eq!(expectation_from_probs(&ps("YI"), &probs, &[0]), -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "was not measured")]
+    fn missing_support_qubit_panics() {
+        expectation_from_probs(&ps("ZZ"), &[1.0, 0.0], &[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn size_mismatch_panics() {
+        expectation_from_probs(&ps("ZI"), &[1.0, 0.0, 0.0], &[0]);
+    }
+
+    #[test]
+    fn mixed_distribution() {
+        // qubit 0 measured: p(0) = 0.8, p(1) = 0.2 → <Z> = 0.6.
+        let probs = [0.8, 0.2];
+        assert!((expectation_from_probs(&ps("Z"), &probs, &[0]) - 0.6).abs() < 1e-12);
+    }
+}

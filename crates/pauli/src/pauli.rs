@@ -1,0 +1,115 @@
+//! The single-qubit Pauli operators.
+
+use std::fmt;
+
+/// A single-qubit Pauli operator.
+///
+/// # Examples
+///
+/// ```
+/// use pauli::Pauli;
+///
+/// assert!(Pauli::I.qubitwise_compatible(Pauli::X));
+/// assert!(Pauli::Z.qubitwise_compatible(Pauli::Z));
+/// assert!(!Pauli::Z.qubitwise_compatible(Pauli::X));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Pauli {
+    /// Identity.
+    #[default]
+    I,
+    /// Pauli-X.
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+}
+
+impl Pauli {
+    /// All four Paulis, in `I, X, Y, Z` order.
+    pub const ALL: [Pauli; 4] = [Pauli::I, Pauli::X, Pauli::Y, Pauli::Z];
+
+    /// Whether this is the identity.
+    #[inline]
+    pub fn is_identity(self) -> bool {
+        self == Pauli::I
+    }
+
+    /// Qubit-wise compatibility: two single-qubit Paulis can be measured by
+    /// the same basis if they are equal or either is the identity.
+    ///
+    /// This is the "trivial qubit commutation" the paper restricts itself to
+    /// (Section 3.1): it never increases circuit depth.
+    #[inline]
+    pub fn qubitwise_compatible(self, other: Pauli) -> bool {
+        self == other || self.is_identity() || other.is_identity()
+    }
+
+    /// Parses a single character (`I`/`X`/`Y`/`Z`, case-insensitive, or `-`
+    /// which the paper uses for "outside the measurement window" and which
+    /// maps to identity).
+    pub fn from_char(c: char) -> Option<Pauli> {
+        match c.to_ascii_uppercase() {
+            'I' | '-' => Some(Pauli::I),
+            'X' => Some(Pauli::X),
+            'Y' => Some(Pauli::Y),
+            'Z' => Some(Pauli::Z),
+            _ => None,
+        }
+    }
+
+    /// The display character.
+    pub fn to_char(self) -> char {
+        match self {
+            Pauli::I => 'I',
+            Pauli::X => 'X',
+            Pauli::Y => 'Y',
+            Pauli::Z => 'Z',
+        }
+    }
+}
+
+impl fmt::Display for Pauli {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_char())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compatibility_is_symmetric() {
+        for a in Pauli::ALL {
+            for b in Pauli::ALL {
+                assert_eq!(a.qubitwise_compatible(b), b.qubitwise_compatible(a));
+            }
+        }
+    }
+
+    #[test]
+    fn identity_is_compatible_with_everything() {
+        for p in Pauli::ALL {
+            assert!(Pauli::I.qubitwise_compatible(p));
+        }
+    }
+
+    #[test]
+    fn distinct_non_identity_paulis_clash() {
+        assert!(!Pauli::X.qubitwise_compatible(Pauli::Y));
+        assert!(!Pauli::X.qubitwise_compatible(Pauli::Z));
+        assert!(!Pauli::Y.qubitwise_compatible(Pauli::Z));
+    }
+
+    #[test]
+    fn char_round_trip() {
+        for p in Pauli::ALL {
+            assert_eq!(Pauli::from_char(p.to_char()), Some(p));
+        }
+        assert_eq!(Pauli::from_char('-'), Some(Pauli::I));
+        assert_eq!(Pauli::from_char('x'), Some(Pauli::X));
+        assert_eq!(Pauli::from_char('q'), None);
+    }
+}

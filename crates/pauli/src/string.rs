@@ -1,0 +1,450 @@
+//! Multi-qubit Pauli strings.
+
+use crate::pauli::Pauli;
+use qsim::{C64, Statevector};
+use std::fmt;
+use std::str::FromStr;
+
+/// A tensor product of single-qubit Paulis over a fixed number of qubits.
+///
+/// Index `i` is the Pauli acting on qubit `i`; the display convention puts
+/// qubit 0 on the **left**, matching the paper's figures (e.g. `"ZZIZ"` acts
+/// with Z on qubits 0, 1, 3).
+///
+/// # Examples
+///
+/// ```
+/// use pauli::PauliString;
+///
+/// let s: PauliString = "ZZIZ".parse().unwrap();
+/// assert_eq!(s.weight(), 3);
+/// assert_eq!(s.support(), vec![0, 1, 3]);
+/// let covered: PauliString = "ZZII".parse().unwrap();
+/// assert!(s.covers(&covered));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PauliString {
+    paulis: Vec<Pauli>,
+}
+
+/// Error returned when parsing a [`PauliString`] from text fails.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParsePauliStringError {
+    offending: char,
+}
+
+impl fmt::Display for ParsePauliStringError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid Pauli character {:?} (expected I, X, Y, Z or -)",
+            self.offending
+        )
+    }
+}
+
+impl std::error::Error for ParsePauliStringError {}
+
+impl PauliString {
+    /// The all-identity string on `n` qubits.
+    pub fn identity(n: usize) -> Self {
+        PauliString {
+            paulis: vec![Pauli::I; n],
+        }
+    }
+
+    /// Builds a string from its per-qubit Paulis.
+    pub fn new(paulis: Vec<Pauli>) -> Self {
+        PauliString { paulis }
+    }
+
+    /// A string that is `p` on qubit `q` of `n`, identity elsewhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q >= n`.
+    pub fn single(n: usize, q: usize, p: Pauli) -> Self {
+        assert!(q < n, "qubit {q} out of range for {n} qubits");
+        let mut s = Self::identity(n);
+        s.paulis[q] = p;
+        s
+    }
+
+    /// The number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.paulis.len()
+    }
+
+    /// The per-qubit Paulis (index = qubit).
+    pub fn paulis(&self) -> &[Pauli] {
+        &self.paulis
+    }
+
+    /// The Pauli on qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn pauli_at(&self, q: usize) -> Pauli {
+        self.paulis[q]
+    }
+
+    /// Replaces the Pauli on qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn set(&mut self, q: usize, p: Pauli) {
+        self.paulis[q] = p;
+    }
+
+    /// Whether every position is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.paulis.iter().all(|p| p.is_identity())
+    }
+
+    /// The number of non-identity positions.
+    pub fn weight(&self) -> usize {
+        self.paulis.iter().filter(|p| !p.is_identity()).count()
+    }
+
+    /// The qubits with non-identity Paulis, in increasing order.
+    pub fn support(&self) -> Vec<usize> {
+        self.paulis
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| !p.is_identity())
+            .map(|(q, _)| q)
+            .collect()
+    }
+
+    /// Qubit-wise compatibility: at every position the two strings are
+    /// equal or at least one is identity. Compatible strings can be measured
+    /// by a single circuit whose basis is their union.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the strings have different lengths.
+    pub fn qubitwise_compatible(&self, other: &PauliString) -> bool {
+        assert_eq!(
+            self.num_qubits(),
+            other.num_qubits(),
+            "qubit count mismatch"
+        );
+        self.paulis
+            .iter()
+            .zip(&other.paulis)
+            .all(|(a, b)| a.qubitwise_compatible(*b))
+    }
+
+    /// Whether measuring in basis `self` also yields `other`: at every
+    /// non-identity position of `other`, `self` holds the same Pauli.
+    ///
+    /// This is the paper's "trivial commutation" relation (Fig.7's arrows
+    /// point from covered Paulis to their covering parents).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the strings have different lengths.
+    pub fn covers(&self, other: &PauliString) -> bool {
+        assert_eq!(
+            self.num_qubits(),
+            other.num_qubits(),
+            "qubit count mismatch"
+        );
+        self.paulis
+            .iter()
+            .zip(&other.paulis)
+            .all(|(a, b)| b.is_identity() || a == b)
+    }
+
+    /// The union basis of two qubit-wise compatible strings, or `None` if
+    /// they clash at some position.
+    pub fn try_union(&self, other: &PauliString) -> Option<PauliString> {
+        if !self.qubitwise_compatible(other) {
+            return None;
+        }
+        Some(PauliString::new(
+            self.paulis
+                .iter()
+                .zip(&other.paulis)
+                .map(|(a, b)| if a.is_identity() { *b } else { *a })
+                .collect(),
+        ))
+    }
+
+    /// The restriction of the string to a window of qubits: identity outside
+    /// `start..start + len`.
+    ///
+    /// This is JigSaw's "Circuit with Partial Measurement" descriptor: the
+    /// returned string's non-identity positions are exactly the qubits the
+    /// subset circuit measures, in their bases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window exceeds the string.
+    ///
+    /// ```
+    /// use pauli::PauliString;
+    /// let s: PauliString = "ZZIZ".parse().unwrap();
+    /// assert_eq!(s.window(1, 2).to_string(), "IZII");
+    /// ```
+    pub fn window(&self, start: usize, len: usize) -> PauliString {
+        assert!(
+            start + len <= self.num_qubits(),
+            "window {start}+{len} exceeds {} qubits",
+            self.num_qubits()
+        );
+        let mut out = Self::identity(self.num_qubits());
+        out.paulis[start..start + len].copy_from_slice(&self.paulis[start..start + len]);
+        out
+    }
+
+    /// The expectation value `⟨ψ|P|ψ⟩` on a pure state (exact; no sampling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state has fewer qubits than the string.
+    pub fn expectation(&self, state: &Statevector) -> f64 {
+        assert!(
+            state.num_qubits() >= self.num_qubits(),
+            "state has {} qubits but string needs {}",
+            state.num_qubits(),
+            self.num_qubits()
+        );
+        let (flip, phase_mask, ny) = self.masks();
+        let amps = state.amplitudes();
+        let mut acc = C64::ZERO;
+        for (x, a) in amps.iter().enumerate() {
+            if a.norm_sqr() == 0.0 {
+                continue;
+            }
+            let sign = if ((x & phase_mask).count_ones()) % 2 == 0 {
+                1.0
+            } else {
+                -1.0
+            };
+            acc += amps[x ^ flip].conj() * a.scale(sign);
+        }
+        let iphase = i_power(ny);
+        (acc * iphase).re
+    }
+
+    /// Accumulates `y += coeff · P|x⟩` for the statevector amplitudes `x`.
+    ///
+    /// Used by the Hamiltonian's matrix-free [`qsim::HermitianOp`]
+    /// implementation.
+    pub(crate) fn apply_accumulate(&self, coeff: f64, x: &[C64], y: &mut [C64]) {
+        let (flip, phase_mask, ny) = self.masks();
+        let iphase = i_power(ny).scale(coeff);
+        for (idx, a) in x.iter().enumerate() {
+            let sign = if ((idx & phase_mask).count_ones()) % 2 == 0 {
+                1.0
+            } else {
+                -1.0
+            };
+            y[idx ^ flip] += *a * iphase.scale(sign);
+        }
+    }
+
+    /// Returns `(flip_mask, phase_mask, n_y)`: bits flipped by X/Y, bits
+    /// contributing a (-1) phase (Y/Z), and the Y count (global iⁿ phase).
+    fn masks(&self) -> (usize, usize, u32) {
+        let mut flip = 0usize;
+        let mut phase = 0usize;
+        let mut ny = 0u32;
+        for (q, p) in self.paulis.iter().enumerate() {
+            match p {
+                Pauli::I => {}
+                Pauli::X => flip |= 1 << q,
+                Pauli::Y => {
+                    flip |= 1 << q;
+                    phase |= 1 << q;
+                    ny += 1;
+                }
+                Pauli::Z => phase |= 1 << q,
+            }
+        }
+        (flip, phase, ny)
+    }
+}
+
+/// `i^n` as a complex number.
+fn i_power(n: u32) -> C64 {
+    match n % 4 {
+        0 => C64::ONE,
+        1 => C64::I,
+        2 => -C64::ONE,
+        _ => -C64::I,
+    }
+}
+
+impl FromStr for PauliString {
+    type Err = ParsePauliStringError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let paulis = s
+            .chars()
+            .map(|c| Pauli::from_char(c).ok_or(ParsePauliStringError { offending: c }))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(PauliString { paulis })
+    }
+}
+
+impl fmt::Display for PauliString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for p in &self.paulis {
+            write!(f, "{p}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim::Circuit;
+
+    fn ps(s: &str) -> PauliString {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for s in ["IXYZ", "ZZZZ", "IIII", "XY"] {
+            assert_eq!(ps(s).to_string(), s);
+        }
+        // Dashes parse as identity.
+        assert_eq!(ps("ZZ--"), ps("ZZII"));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("ZQ".parse::<PauliString>().is_err());
+        let err = "A".parse::<PauliString>().unwrap_err();
+        assert!(err.to_string().contains("'A'"));
+    }
+
+    #[test]
+    fn weight_support_identity() {
+        let s = ps("IXIZ");
+        assert_eq!(s.weight(), 2);
+        assert_eq!(s.support(), vec![1, 3]);
+        assert!(!s.is_identity());
+        assert!(PauliString::identity(5).is_identity());
+    }
+
+    #[test]
+    fn covers_examples_from_fig6() {
+        // Red terms of Eq.1 are covered by black terms.
+        assert!(ps("ZZIZ").covers(&ps("ZZII")));
+        assert!(ps("ZIZX").covers(&ps("IIZX")));
+        assert!(ps("ZXXZ").covers(&ps("ZXIZ")));
+        // Covering is not symmetric.
+        assert!(!ps("ZZII").covers(&ps("ZZIZ")));
+        // A clash prevents covering.
+        assert!(!ps("ZZIZ").covers(&ps("XZII")));
+    }
+
+    #[test]
+    fn compatibility_vs_cover() {
+        let a = ps("ZIIZ");
+        let b = ps("IZZI");
+        assert!(a.qubitwise_compatible(&b));
+        assert!(!a.covers(&b));
+        assert_eq!(a.try_union(&b).unwrap(), ps("ZZZZ"));
+        assert_eq!(ps("XIII").try_union(&ps("ZIII")), None);
+    }
+
+    #[test]
+    fn window_restricts() {
+        let s = ps("ZXYZ");
+        assert_eq!(s.window(0, 2), ps("ZXII"));
+        assert_eq!(s.window(1, 2), ps("IXYI"));
+        assert_eq!(s.window(2, 2), ps("IIYZ"));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn window_out_of_range_panics() {
+        ps("ZZ").window(1, 2);
+    }
+
+    #[test]
+    fn expectation_on_zero_state() {
+        let s0 = Statevector::zero(2);
+        assert_eq!(ps("ZI").expectation(&s0), 1.0);
+        assert_eq!(ps("ZZ").expectation(&s0), 1.0);
+        assert_eq!(ps("XI").expectation(&s0), 0.0);
+        assert_eq!(ps("II").expectation(&s0), 1.0);
+    }
+
+    #[test]
+    fn expectation_on_excited_state() {
+        let mut st = Statevector::zero(2);
+        let mut c = Circuit::new(2);
+        c.x(0);
+        st.apply_circuit(&c);
+        assert_eq!(ps("ZI").expectation(&st), -1.0);
+        assert_eq!(ps("IZ").expectation(&st), 1.0);
+        assert_eq!(ps("ZZ").expectation(&st), -1.0);
+    }
+
+    #[test]
+    fn expectation_on_plus_state() {
+        let mut st = Statevector::zero(1);
+        let mut c = Circuit::new(1);
+        c.h(0);
+        st.apply_circuit(&c);
+        assert!((ps("X").expectation(&st) - 1.0).abs() < 1e-12);
+        assert!(ps("Z").expectation(&st).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expectation_of_y_on_circular_state() {
+        // S H |0⟩ = (|0⟩ + i|1⟩)/√2 is the +1 eigenstate of Y.
+        let mut st = Statevector::zero(1);
+        let mut c = Circuit::new(1);
+        c.h(0).s(0);
+        st.apply_circuit(&c);
+        assert!((ps("Y").expectation(&st) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expectation_of_bell_correlations() {
+        let mut st = Statevector::zero(2);
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        st.apply_circuit(&c);
+        assert!((ps("ZZ").expectation(&st) - 1.0).abs() < 1e-12);
+        assert!((ps("XX").expectation(&st) - 1.0).abs() < 1e-12);
+        assert!((ps("YY").expectation(&st) + 1.0).abs() < 1e-12);
+        assert!(ps("ZI").expectation(&st).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fig7_cover_parent_counts() {
+        // Fig.7: among the 27 three-qubit strings over {I, X, Z}, the number
+        // of *other* strings that cover a given string is:
+        //   III → 26, IIZ → 8, IZZ → 2, ZZZ → 0.
+        let alphabet = [Pauli::I, Pauli::X, Pauli::Z];
+        let mut all = Vec::new();
+        for a in alphabet {
+            for b in alphabet {
+                for c in alphabet {
+                    all.push(PauliString::new(vec![a, b, c]));
+                }
+            }
+        }
+        assert_eq!(all.len(), 27);
+        let parents = |target: &PauliString| {
+            all.iter()
+                .filter(|s| *s != target && s.covers(target))
+                .count()
+        };
+        assert_eq!(parents(&ps("III")), 26);
+        assert_eq!(parents(&ps("IIZ")), 8);
+        assert_eq!(parents(&ps("IZZ")), 2);
+        assert_eq!(parents(&ps("ZZZ")), 0);
+    }
+}

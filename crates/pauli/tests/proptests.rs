@@ -1,0 +1,115 @@
+//! Property-based tests for Pauli algebra invariants.
+
+use pauli::{expectation_from_probs, group_by_cover, group_by_union, Pauli, PauliString};
+use proptest::prelude::*;
+
+fn arb_pauli() -> impl Strategy<Value = Pauli> {
+    prop::sample::select(vec![Pauli::I, Pauli::X, Pauli::Y, Pauli::Z])
+}
+
+fn arb_string(n: usize) -> impl Strategy<Value = PauliString> {
+    prop::collection::vec(arb_pauli(), n).prop_map(PauliString::new)
+}
+
+proptest! {
+    /// Covering implies qubit-wise compatibility.
+    #[test]
+    fn cover_implies_compatible(a in arb_string(5), b in arb_string(5)) {
+        if a.covers(&b) {
+            prop_assert!(a.qubitwise_compatible(&b));
+        }
+    }
+
+    /// Covering is reflexive and antisymmetric up to equality.
+    #[test]
+    fn cover_is_reflexive(a in arb_string(5)) {
+        prop_assert!(a.covers(&a));
+    }
+
+    #[test]
+    fn mutual_cover_implies_equality(a in arb_string(4), b in arb_string(4)) {
+        if a.covers(&b) && b.covers(&a) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// The union of compatible strings covers both inputs.
+    #[test]
+    fn union_covers_both(a in arb_string(5), b in arb_string(5)) {
+        if let Some(u) = a.try_union(&b) {
+            prop_assert!(u.covers(&a));
+            prop_assert!(u.covers(&b));
+            prop_assert_eq!(a.try_union(&b), b.try_union(&a));
+        }
+    }
+
+    /// Window restriction is covered by the original string and has support
+    /// inside the window.
+    #[test]
+    fn window_is_covered_restriction(a in arb_string(6), start in 0usize..5) {
+        let len = 2.min(6 - start);
+        let w = a.window(start, len);
+        prop_assert!(a.covers(&w));
+        for q in w.support() {
+            prop_assert!((start..start + len).contains(&q));
+        }
+    }
+
+    /// Cover-grouping partitions the input and every member is covered by
+    /// its group basis; union grouping never produces more groups.
+    #[test]
+    fn grouping_invariants(strings in prop::collection::vec(arb_string(4), 1..25)) {
+        let cover = group_by_cover(&strings);
+        let mut assigned = vec![0usize; strings.len()];
+        for g in &cover {
+            for &m in &g.members {
+                assigned[m] += 1;
+                prop_assert!(g.basis.covers(&strings[m]));
+            }
+        }
+        prop_assert!(assigned.iter().all(|&c| c == 1));
+        let union = group_by_union(&strings);
+        prop_assert!(union.len() <= cover.len());
+    }
+
+    /// Group count never exceeds the number of distinct non-identity strings
+    /// (dedup is implied by cover-grouping).
+    #[test]
+    fn grouping_never_exceeds_distinct_strings(strings in prop::collection::vec(arb_string(4), 1..25)) {
+        use std::collections::HashSet;
+        let distinct: HashSet<_> = strings.iter().filter(|s| !s.is_identity()).collect();
+        let groups = group_by_cover(&strings);
+        prop_assert!(groups.len() <= distinct.len().max(1));
+    }
+
+    /// Expectations from distributions stay within [-1, 1] and the identity
+    /// string always evaluates to the distribution's total mass.
+    #[test]
+    fn expectation_is_bounded(weights in prop::collection::vec(0.0f64..1.0, 4), s in arb_string(2)) {
+        let total: f64 = weights.iter().sum();
+        prop_assume!(total > 0.0);
+        let probs: Vec<f64> = weights.iter().map(|w| w / total).collect();
+        let e = expectation_from_probs(&s, &probs, &[0, 1]);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&e));
+        let id = PauliString::identity(2);
+        let ei = expectation_from_probs(&id, &probs, &[0, 1]);
+        prop_assert!((ei - 1.0).abs() < 1e-9);
+    }
+
+    /// Exact statevector expectations of Pauli strings lie in [-1, 1].
+    #[test]
+    fn statevector_expectation_bounded(s in arb_string(3), seed in 0u64..500) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut c = qsim::Circuit::new(3);
+        for q in 0..3 {
+            c.ry(q, rng.random::<f64>() * 6.0);
+            c.rz(q, rng.random::<f64>() * 6.0);
+        }
+        c.cx(0, 1).cx(1, 2);
+        let mut st = qsim::Statevector::zero(3);
+        st.apply_circuit(&c);
+        let e = s.expectation(&st);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&e));
+    }
+}

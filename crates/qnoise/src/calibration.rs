@@ -1,0 +1,154 @@
+//! Readout-error calibration from measurement counts.
+//!
+//! On real hardware the confusion matrix is not known — it is *measured*,
+//! by preparing computational basis states and counting the misreads
+//! (IBM's measurement-mitigation calibration circuits). This module fits
+//! per-qubit [`ReadoutError`]s from exactly those two count vectors, which
+//! is what a hardware-faithful MBM deployment would feed the `mitigation`
+//! crate's corrector instead of the device model's ground truth.
+
+use crate::readout::ReadoutError;
+
+/// Fits per-qubit readout errors from calibration counts.
+///
+/// `zeros[q]` is `(misreads, shots)` for qubit `q` when preparing `|0…0⟩`
+/// (a misread is reading 1); `ones[q]` the same when preparing `|1…1⟩`
+/// (a misread is reading 0). The estimates are the plain maximum-likelihood
+/// frequencies, clamped into the representable `[0, 0.5]` range.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or any shot count is zero.
+///
+/// # Examples
+///
+/// ```
+/// use qnoise::fit_readout_errors;
+///
+/// // Qubit 0: 20/1000 flips from 0, 50/1000 flips from 1.
+/// let errs = fit_readout_errors(&[(20, 1000)], &[(50, 1000)]);
+/// assert!((errs[0].p10() - 0.02).abs() < 1e-12);
+/// assert!((errs[0].p01() - 0.05).abs() < 1e-12);
+/// ```
+pub fn fit_readout_errors(
+    zeros: &[(u64, u64)],
+    ones: &[(u64, u64)],
+) -> Vec<ReadoutError> {
+    assert_eq!(
+        zeros.len(),
+        ones.len(),
+        "calibration count lists must cover the same qubits"
+    );
+    zeros
+        .iter()
+        .zip(ones)
+        .map(|(&(m0, s0), &(m1, s1))| {
+            assert!(s0 > 0 && s1 > 0, "calibration needs at least one shot");
+            let p10 = (m0 as f64 / s0 as f64).min(0.5);
+            let p01 = (m1 as f64 / s1 as f64).min(0.5);
+            ReadoutError::new(p10, p01)
+        })
+        .collect()
+}
+
+/// Simulates the two standard calibration experiments against a device
+/// model and fits the errors back — the full software loop a hardware
+/// run would perform. `measured` qubits are read out simultaneously, so
+/// the fit *includes* the crosstalk at that simultaneity level.
+///
+/// # Panics
+///
+/// Panics if `shots == 0` or `measured` is empty or out of range.
+pub fn calibrate_device<R: rand::Rng + ?Sized>(
+    device: &crate::DeviceModel,
+    measured: &[usize],
+    shots: u64,
+    rng: &mut R,
+) -> Vec<ReadoutError> {
+    assert!(shots > 0, "calibration needs at least one shot");
+    assert!(!measured.is_empty(), "no qubits to calibrate");
+    let m = measured.len();
+    let mut zeros = Vec::with_capacity(m);
+    let mut ones = Vec::with_capacity(m);
+    for &q in measured {
+        assert!(q < device.num_qubits(), "qubit {q} out of range");
+        let e = device.effective_readout(q, m);
+        let mut m0 = 0u64;
+        let mut m1 = 0u64;
+        for _ in 0..shots {
+            if e.flip_bit(false, rng) {
+                m0 += 1;
+            }
+            if !e.flip_bit(true, rng) {
+                m1 += 1;
+            }
+        }
+        zeros.push((m0, shots));
+        ones.push((m1, shots));
+    }
+    fit_readout_errors(&zeros, &ones)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CrosstalkModel, DeviceModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_frequencies_round_trip() {
+        let errs = fit_readout_errors(&[(0, 100), (10, 100)], &[(5, 100), (0, 100)]);
+        assert_eq!(errs[0], ReadoutError::new(0.0, 0.05));
+        assert_eq!(errs[1], ReadoutError::new(0.1, 0.0));
+    }
+
+    #[test]
+    fn estimates_clamp_to_half() {
+        let errs = fit_readout_errors(&[(90, 100)], &[(0, 100)]);
+        assert_eq!(errs[0].p10(), 0.5);
+    }
+
+    #[test]
+    fn simulated_calibration_recovers_true_rates() {
+        let dev = DeviceModel::new(
+            "cal",
+            vec![ReadoutError::new(0.03, 0.06); 3],
+            CrosstalkModel::new(0.2),
+            0.0,
+        );
+        let mut rng = StdRng::seed_from_u64(5);
+        let fitted = calibrate_device(&dev, &[0, 1, 2], 50_000, &mut rng);
+        for f in &fitted {
+            // True rates at simultaneity 3: 0.03·1.4 = 0.042, 0.06·1.4 = 0.084.
+            assert!((f.p10() - 0.042).abs() < 0.005, "{f}");
+            assert!((f.p01() - 0.084).abs() < 0.005, "{f}");
+        }
+    }
+
+    #[test]
+    fn calibration_feeds_mbm_style_correction() {
+        // Fit on few shots, then check the fit is close enough in TVD
+        // terms to be useful.
+        let dev = DeviceModel::mumbai_like();
+        let mut rng = StdRng::seed_from_u64(9);
+        let fitted = calibrate_device(&dev, &[0, 1], 4096, &mut rng);
+        for (j, &q) in [0usize, 1].iter().enumerate() {
+            let truth = dev.effective_readout(q, 2);
+            assert!((fitted[j].p10() - truth.p10()).abs() < 0.02);
+            assert!((fitted[j].p01() - truth.p01()).abs() < 0.02);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "same qubits")]
+    fn mismatched_lengths_panic() {
+        fit_readout_errors(&[(0, 1)], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shot")]
+    fn zero_shots_panic() {
+        fit_readout_errors(&[(0, 0)], &[(0, 1)]);
+    }
+}

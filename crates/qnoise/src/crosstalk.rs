@@ -1,0 +1,84 @@
+//! Measurement crosstalk.
+
+/// A model of measurement crosstalk: the per-qubit readout error grows with
+/// the number of qubits measured *simultaneously*.
+///
+/// The paper motivates subsetting with exactly this effect: simultaneous
+/// measurements are more error prone (1.26× on average on Google Sycamore,
+/// up to an order of magnitude in the worst case — Sections 1 and 2.2). We
+/// model it as a multiplicative amplification of the per-qubit flip
+/// probabilities, linear in the number of *other* qubits measured at the
+/// same time:
+///
+/// `factor(m) = 1 + per_neighbor · (m − 1)`
+///
+/// # Examples
+///
+/// ```
+/// use qnoise::CrosstalkModel;
+///
+/// let ct = CrosstalkModel::new(0.08);
+/// assert_eq!(ct.factor(1), 1.0);       // isolated measurement
+/// assert!((ct.factor(6) - 1.4).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CrosstalkModel {
+    per_neighbor: f64,
+}
+
+impl CrosstalkModel {
+    /// No crosstalk.
+    pub const NONE: CrosstalkModel = CrosstalkModel { per_neighbor: 0.0 };
+
+    /// Creates a crosstalk model with the given per-simultaneous-neighbor
+    /// amplification.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_neighbor` is negative.
+    pub fn new(per_neighbor: f64) -> Self {
+        assert!(per_neighbor >= 0.0, "crosstalk amplification must be nonnegative");
+        CrosstalkModel { per_neighbor }
+    }
+
+    /// The per-neighbor amplification coefficient.
+    pub fn per_neighbor(&self) -> f64 {
+        self.per_neighbor
+    }
+
+    /// The error amplification factor when `measured` qubits are read out
+    /// simultaneously. Returns 1 for zero or one qubit.
+    pub fn factor(&self, measured: usize) -> f64 {
+        1.0 + self.per_neighbor * measured.saturating_sub(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isolated_measurement_is_unamplified() {
+        let ct = CrosstalkModel::new(0.1);
+        assert_eq!(ct.factor(0), 1.0);
+        assert_eq!(ct.factor(1), 1.0);
+    }
+
+    #[test]
+    fn factor_grows_linearly() {
+        let ct = CrosstalkModel::new(0.05);
+        assert!((ct.factor(2) - 1.05).abs() < 1e-12);
+        assert!((ct.factor(11) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn none_has_unit_factor() {
+        assert_eq!(CrosstalkModel::NONE.factor(100), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonnegative")]
+    fn rejects_negative() {
+        CrosstalkModel::new(-0.1);
+    }
+}

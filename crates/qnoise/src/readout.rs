@@ -1,0 +1,157 @@
+//! Per-qubit readout (measurement) errors.
+
+use std::fmt;
+
+/// An asymmetric classical bit-flip channel modelling one qubit's readout.
+///
+/// Measurement errors manifest as bit flips (Section 2.2 of the paper):
+/// `p10` is the probability of reading 1 when the true outcome is 0, and
+/// `p01` of reading 0 when the true outcome is 1. On superconducting
+/// hardware `p01 > p10` is typical (relaxation during the long readout
+/// pulse).
+///
+/// # Examples
+///
+/// ```
+/// use qnoise::ReadoutError;
+///
+/// let e = ReadoutError::new(0.02, 0.05);
+/// assert_eq!(e.average(), 0.035);
+/// let worse = e.scaled(2.0);
+/// assert_eq!(worse.p10(), 0.04);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ReadoutError {
+    p10: f64,
+    p01: f64,
+}
+
+impl ReadoutError {
+    /// A perfect readout (no error).
+    pub const NONE: ReadoutError = ReadoutError { p10: 0.0, p01: 0.0 };
+
+    /// Creates a readout error from its two flip probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either probability is outside `[0, 0.5]` — beyond 0.5 the
+    /// "error" would carry more information than the signal.
+    pub fn new(p10: f64, p01: f64) -> Self {
+        assert!(
+            (0.0..=0.5).contains(&p10) && (0.0..=0.5).contains(&p01),
+            "flip probabilities must lie in [0, 0.5], got p10={p10}, p01={p01}"
+        );
+        ReadoutError { p10, p01 }
+    }
+
+    /// A symmetric readout error with both flips equal to `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 0.5]`.
+    pub fn symmetric(p: f64) -> Self {
+        Self::new(p, p)
+    }
+
+    /// P(read 1 | prepared 0).
+    pub fn p10(&self) -> f64 {
+        self.p10
+    }
+
+    /// P(read 0 | prepared 1).
+    pub fn p01(&self) -> f64 {
+        self.p01
+    }
+
+    /// The average flip probability.
+    pub fn average(&self) -> f64 {
+        0.5 * (self.p10 + self.p01)
+    }
+
+    /// Scales both flip probabilities by `factor`, saturating at 0.5.
+    ///
+    /// Used both for measurement-crosstalk amplification and for the
+    /// noise-scale sweep of the paper's Appendix B.
+    pub fn scaled(&self, factor: f64) -> ReadoutError {
+        assert!(factor >= 0.0, "scale factor must be nonnegative");
+        ReadoutError {
+            p10: (self.p10 * factor).min(0.5),
+            p01: (self.p01 * factor).min(0.5),
+        }
+    }
+
+    /// The column-stochastic 2×2 confusion matrix
+    /// `[[P(0|0), P(0|1)], [P(1|0), P(1|1)]]`.
+    pub fn confusion(&self) -> [[f64; 2]; 2] {
+        [[1.0 - self.p10, self.p01], [self.p10, 1.0 - self.p01]]
+    }
+
+    /// Applies the channel to one sampled bit.
+    pub fn flip_bit<R: rand::Rng + ?Sized>(&self, bit: bool, rng: &mut R) -> bool {
+        let p = if bit { self.p01 } else { self.p10 };
+        if rng.random::<f64>() < p {
+            !bit
+        } else {
+            bit
+        }
+    }
+}
+
+impl fmt::Display for ReadoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "readout(p10={:.4}, p01={:.4})", self.p10, self.p01)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn confusion_columns_are_stochastic() {
+        let e = ReadoutError::new(0.03, 0.07);
+        let m = e.confusion();
+        assert!((m[0][0] + m[1][0] - 1.0).abs() < 1e-15);
+        assert!((m[0][1] + m[1][1] - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn scaling_saturates() {
+        let e = ReadoutError::new(0.3, 0.4).scaled(5.0);
+        assert_eq!(e.p10(), 0.5);
+        assert_eq!(e.p01(), 0.5);
+    }
+
+    #[test]
+    fn scaling_by_zero_removes_error() {
+        assert_eq!(ReadoutError::new(0.1, 0.2).scaled(0.0), ReadoutError::NONE);
+    }
+
+    #[test]
+    #[should_panic(expected = "must lie in [0, 0.5]")]
+    fn rejects_out_of_range() {
+        ReadoutError::new(0.6, 0.1);
+    }
+
+    #[test]
+    fn flip_statistics_match_probabilities() {
+        let e = ReadoutError::new(0.2, 0.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let flips = (0..10_000)
+            .filter(|_| e.flip_bit(false, &mut rng))
+            .count();
+        let rate = flips as f64 / 10_000.0;
+        assert!((rate - 0.2).abs() < 0.02, "rate {rate}");
+        // A true 1 never flips with p01 = 0.
+        assert!(e.flip_bit(true, &mut rng));
+    }
+
+    #[test]
+    fn symmetric_constructor() {
+        let e = ReadoutError::symmetric(0.04);
+        assert_eq!(e.p10(), e.p01());
+        assert_eq!(e.average(), 0.04);
+    }
+}

@@ -1,0 +1,128 @@
+//! OpenQASM 2.0 export.
+//!
+//! Circuits built here can be re-run on real toolchains (Qiskit, BQSKit,
+//! tket) — the natural hand-off point if someone wants to replay the
+//! reproduction's circuits on actual hardware.
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+use std::fmt::Write as _;
+
+/// Renders a circuit as an OpenQASM 2.0 program, measuring `measured` into
+/// a classical register at the end (pass an empty slice for no
+/// measurements).
+///
+/// # Panics
+///
+/// Panics if a measured qubit index is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use qsim::{to_qasm, Circuit};
+///
+/// let mut c = Circuit::new(2);
+/// c.h(0).cx(0, 1);
+/// let qasm = to_qasm(&c, &[0, 1]);
+/// assert!(qasm.contains("h q[0];"));
+/// assert!(qasm.contains("cx q[0], q[1];"));
+/// assert!(qasm.contains("measure q[0] -> c[0];"));
+/// ```
+pub fn to_qasm(circuit: &Circuit, measured: &[usize]) -> String {
+    for &q in measured {
+        assert!(
+            q < circuit.num_qubits(),
+            "measured qubit {q} out of range for {} qubits",
+            circuit.num_qubits()
+        );
+    }
+    let mut out = String::new();
+    out.push_str("OPENQASM 2.0;\n");
+    out.push_str("include \"qelib1.inc\";\n");
+    let _ = writeln!(out, "qreg q[{}];", circuit.num_qubits());
+    if !measured.is_empty() {
+        let _ = writeln!(out, "creg c[{}];", measured.len());
+    }
+    for g in circuit.gates() {
+        let line = match *g {
+            Gate::H(q) => format!("h q[{q}];"),
+            Gate::X(q) => format!("x q[{q}];"),
+            Gate::Y(q) => format!("y q[{q}];"),
+            Gate::Z(q) => format!("z q[{q}];"),
+            Gate::S(q) => format!("s q[{q}];"),
+            Gate::Sdg(q) => format!("sdg q[{q}];"),
+            Gate::T(q) => format!("t q[{q}];"),
+            Gate::Tdg(q) => format!("tdg q[{q}];"),
+            Gate::Rx(q, t) => format!("rx({t}) q[{q}];"),
+            Gate::Ry(q, t) => format!("ry({t}) q[{q}];"),
+            Gate::Rz(q, t) => format!("rz({t}) q[{q}];"),
+            Gate::Cx(a, b) => format!("cx q[{a}], q[{b}];"),
+            Gate::Cz(a, b) => format!("cz q[{a}], q[{b}];"),
+            Gate::Swap(a, b) => format!("swap q[{a}], q[{b}];"),
+        };
+        out.push_str(&line);
+        out.push('\n');
+    }
+    for (i, &q) in measured.iter().enumerate() {
+        let _ = writeln!(out, "measure q[{q}] -> c[{i}];");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_gate_set_renders() {
+        let mut c = Circuit::new(3);
+        c.h(0)
+            .x(1)
+            .y(2)
+            .z(0)
+            .s(1)
+            .sdg(2)
+            .rx(0, 0.5)
+            .ry(1, -0.25)
+            .rz(2, 1.5)
+            .cx(0, 1)
+            .cz(1, 2)
+            .swap(0, 2);
+        c.push(crate::gate::Gate::T(0));
+        c.push(crate::gate::Gate::Tdg(1));
+        let qasm = to_qasm(&c, &[]);
+        for token in [
+            "h q[0];", "x q[1];", "y q[2];", "z q[0];", "s q[1];", "sdg q[2];",
+            "rx(0.5) q[0];", "ry(-0.25) q[1];", "rz(1.5) q[2];", "cx q[0], q[1];",
+            "cz q[1], q[2];", "swap q[0], q[2];", "t q[0];", "tdg q[1];",
+        ] {
+            assert!(qasm.contains(token), "missing {token} in:\n{qasm}");
+        }
+        assert!(!qasm.contains("creg"), "no classical register expected");
+    }
+
+    #[test]
+    fn headers_and_registers() {
+        let mut c = Circuit::new(2);
+        c.h(0);
+        let qasm = to_qasm(&c, &[1]);
+        assert!(qasm.starts_with("OPENQASM 2.0;\n"));
+        assert!(qasm.contains("qreg q[2];"));
+        assert!(qasm.contains("creg c[1];"));
+        assert!(qasm.ends_with("measure q[1] -> c[0];\n"));
+    }
+
+    #[test]
+    fn measurement_order_defines_classical_bits() {
+        let c = Circuit::new(3);
+        let qasm = to_qasm(&c, &[2, 0]);
+        assert!(qasm.contains("measure q[2] -> c[0];"));
+        assert!(qasm.contains("measure q[0] -> c[1];"));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn measured_out_of_range_panics() {
+        to_qasm(&Circuit::new(1), &[3]);
+    }
+}

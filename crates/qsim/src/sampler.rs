@@ -1,0 +1,125 @@
+//! Shot sampling from outcome distributions.
+
+use rand::Rng;
+
+/// Draws `shots` samples from the distribution `probs` and returns a count
+/// per outcome index.
+///
+/// The distribution is renormalized internally, so slightly unnormalized
+/// inputs (e.g. probabilities that sum to `1 ± 1e-12` after floating-point
+/// round-off) are fine.
+///
+/// # Panics
+///
+/// Panics if `probs` is empty, contains a negative entry, or sums to zero.
+///
+/// # Examples
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let counts = qsim::sample_counts(&[0.5, 0.5], 1000, &mut rng);
+/// assert_eq!(counts.iter().sum::<u64>(), 1000);
+/// assert!(counts[0] > 400 && counts[0] < 600);
+/// ```
+pub fn sample_counts<R: Rng + ?Sized>(probs: &[f64], shots: u64, rng: &mut R) -> Vec<u64> {
+    let cdf = cumulative(probs);
+    let mut counts = vec![0u64; probs.len()];
+    for _ in 0..shots {
+        counts[draw(&cdf, rng)] += 1;
+    }
+    counts
+}
+
+/// Draws a single outcome index from the distribution `probs`.
+///
+/// # Panics
+///
+/// Same conditions as [`sample_counts`].
+pub fn sample_index<R: Rng + ?Sized>(probs: &[f64], rng: &mut R) -> usize {
+    draw(&cumulative(probs), rng)
+}
+
+fn cumulative(probs: &[f64]) -> Vec<f64> {
+    assert!(!probs.is_empty(), "cannot sample from an empty distribution");
+    let mut cdf = Vec::with_capacity(probs.len());
+    let mut acc = 0.0;
+    for &p in probs {
+        assert!(p >= 0.0, "negative probability {p}");
+        acc += p;
+        cdf.push(acc);
+    }
+    assert!(acc > 0.0, "distribution sums to zero");
+    cdf
+}
+
+fn draw<R: Rng + ?Sized>(cdf: &[f64], rng: &mut R) -> usize {
+    let total = *cdf.last().expect("cdf is nonempty");
+    let u = rng.random::<f64>() * total;
+    // Binary search for the first cdf entry >= u.
+    match cdf.binary_search_by(|c| c.partial_cmp(&u).expect("no NaN in cdf")) {
+        Ok(i) | Err(i) => i.min(cdf.len() - 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_distribution_always_hits_the_point_mass() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let counts = sample_counts(&[0.0, 1.0, 0.0], 100, &mut rng);
+        assert_eq!(counts, vec![0, 100, 0]);
+    }
+
+    #[test]
+    fn counts_sum_to_shots() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let counts = sample_counts(&[0.1, 0.2, 0.3, 0.4], 2048, &mut rng);
+        assert_eq!(counts.iter().sum::<u64>(), 2048);
+    }
+
+    #[test]
+    fn empirical_frequencies_track_probabilities() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let probs = [0.7, 0.2, 0.1];
+        let shots = 100_000;
+        let counts = sample_counts(&probs, shots, &mut rng);
+        for (c, p) in counts.iter().zip(probs) {
+            let freq = *c as f64 / shots as f64;
+            assert!((freq - p).abs() < 0.01, "freq {freq} vs p {p}");
+        }
+    }
+
+    #[test]
+    fn unnormalized_inputs_are_rescaled() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let counts = sample_counts(&[2.0, 2.0], 1000, &mut rng);
+        assert_eq!(counts.iter().sum::<u64>(), 1000);
+        assert!(counts[0] > 400);
+    }
+
+    #[test]
+    fn same_seed_reproduces_samples() {
+        let probs = [0.25, 0.25, 0.5];
+        let a = sample_counts(&probs, 500, &mut StdRng::seed_from_u64(9));
+        let b = sample_counts(&probs, 500, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative probability")]
+    fn negative_probability_panics() {
+        sample_counts(&[0.5, -0.5], 1, &mut StdRng::seed_from_u64(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "sums to zero")]
+    fn zero_distribution_panics() {
+        sample_counts(&[0.0, 0.0], 1, &mut StdRng::seed_from_u64(0));
+    }
+}

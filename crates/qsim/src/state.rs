@@ -1,0 +1,362 @@
+//! Dense state-vector simulation.
+
+use crate::circuit::Circuit;
+use crate::complex::C64;
+use crate::gate::Gate;
+use std::fmt;
+
+/// A pure quantum state over `n` qubits, stored as 2ⁿ complex amplitudes.
+///
+/// Basis-state index bit `q` is the outcome of qubit `q` (little-endian:
+/// qubit 0 is the least-significant bit).
+///
+/// # Examples
+///
+/// ```
+/// use qsim::{Circuit, Statevector};
+///
+/// let mut bell = Circuit::new(2);
+/// bell.h(0).cx(0, 1);
+/// let mut psi = Statevector::zero(2);
+/// psi.apply_circuit(&bell);
+/// let p = psi.probabilities();
+/// assert!((p[0b00] - 0.5).abs() < 1e-12);
+/// assert!((p[0b11] - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Statevector {
+    num_qubits: usize,
+    amps: Vec<C64>,
+}
+
+impl Statevector {
+    /// The all-zeros computational basis state `|0…0⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits > 30` (the dense representation would not fit).
+    pub fn zero(num_qubits: usize) -> Self {
+        assert!(num_qubits <= 30, "dense statevector limited to 30 qubits");
+        let mut amps = vec![C64::ZERO; 1usize << num_qubits];
+        amps[0] = C64::ONE;
+        Statevector { num_qubits, amps }
+    }
+
+    /// Builds a state from raw amplitudes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not a power of two or the state is not
+    /// normalized to within `1e-6`.
+    pub fn from_amplitudes(amps: Vec<C64>) -> Self {
+        let n = amps.len();
+        assert!(n.is_power_of_two(), "amplitude count must be a power of two");
+        let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum();
+        assert!(
+            (norm - 1.0).abs() < 1e-6,
+            "state not normalized (norm² = {norm})"
+        );
+        Statevector {
+            num_qubits: n.trailing_zeros() as usize,
+            amps,
+        }
+    }
+
+    /// The number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The raw amplitudes (little-endian basis ordering).
+    pub fn amplitudes(&self) -> &[C64] {
+        &self.amps
+    }
+
+    /// Mutable access to the raw amplitudes.
+    ///
+    /// The caller is responsible for keeping the state normalized.
+    pub fn amplitudes_mut(&mut self) -> &mut [C64] {
+        &mut self.amps
+    }
+
+    /// `⟨self|other⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the states have different qubit counts.
+    pub fn inner(&self, other: &Statevector) -> C64 {
+        assert_eq!(self.num_qubits, other.num_qubits, "qubit count mismatch");
+        self.amps
+            .iter()
+            .zip(&other.amps)
+            .map(|(a, b)| a.conj() * *b)
+            .sum()
+    }
+
+    /// State fidelity `|⟨self|other⟩|²`.
+    pub fn fidelity(&self, other: &Statevector) -> f64 {
+        self.inner(other).norm_sqr()
+    }
+
+    /// The squared norm (1 for a valid state; useful in tests).
+    pub fn norm_sqr(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum()
+    }
+
+    /// Applies one gate in place.
+    pub fn apply_gate(&mut self, gate: Gate) {
+        match gate {
+            Gate::Cx(c, t) => self.apply_cx(c, t),
+            Gate::Cz(a, b) => self.apply_cz(a, b),
+            Gate::Swap(a, b) => self.apply_swap(a, b),
+            g => {
+                let q = g.qubits()[0];
+                let m = g
+                    .matrix()
+                    .expect("single-qubit gates always have a matrix");
+                self.apply_1q(q, m);
+            }
+        }
+    }
+
+    /// Applies every gate of `circuit` in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit has more qubits than the state.
+    pub fn apply_circuit(&mut self, circuit: &Circuit) {
+        assert!(
+            circuit.num_qubits() <= self.num_qubits,
+            "circuit acts on {} qubits but state has {}",
+            circuit.num_qubits(),
+            self.num_qubits
+        );
+        for &g in circuit.gates() {
+            self.apply_gate(g);
+        }
+    }
+
+    fn apply_1q(&mut self, q: usize, m: [[C64; 2]; 2]) {
+        debug_assert!(q < self.num_qubits);
+        let mask = 1usize << q;
+        let dim = self.amps.len();
+        let mut i = 0;
+        while i < dim {
+            if i & mask == 0 {
+                let j = i | mask;
+                let a0 = self.amps[i];
+                let a1 = self.amps[j];
+                self.amps[i] = m[0][0] * a0 + m[0][1] * a1;
+                self.amps[j] = m[1][0] * a0 + m[1][1] * a1;
+            }
+            i += 1;
+        }
+    }
+
+    fn apply_cx(&mut self, control: usize, target: usize) {
+        debug_assert!(control < self.num_qubits && target < self.num_qubits);
+        let cmask = 1usize << control;
+        let tmask = 1usize << target;
+        for i in 0..self.amps.len() {
+            if i & cmask != 0 && i & tmask == 0 {
+                self.amps.swap(i, i | tmask);
+            }
+        }
+    }
+
+    fn apply_cz(&mut self, a: usize, b: usize) {
+        let mask = (1usize << a) | (1usize << b);
+        for i in 0..self.amps.len() {
+            if i & mask == mask {
+                self.amps[i] = -self.amps[i];
+            }
+        }
+    }
+
+    fn apply_swap(&mut self, a: usize, b: usize) {
+        let amask = 1usize << a;
+        let bmask = 1usize << b;
+        for i in 0..self.amps.len() {
+            let has_a = i & amask != 0;
+            let has_b = i & bmask != 0;
+            if has_a && !has_b {
+                self.amps.swap(i, (i ^ amask) | bmask);
+            }
+        }
+    }
+
+    /// The full outcome distribution: `p[x] = |⟨x|ψ⟩|²` over all 2ⁿ
+    /// bitstrings.
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.amps.iter().map(|a| a.norm_sqr()).collect()
+    }
+
+    /// The marginal outcome distribution over `qubits`, indexed compactly:
+    /// bit `j` of the result index is the outcome of `qubits[j]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a qubit index is out of range or repeated.
+    ///
+    /// ```
+    /// use qsim::{Circuit, Statevector};
+    /// let mut c = Circuit::new(2);
+    /// c.x(1);
+    /// let mut s = Statevector::zero(2);
+    /// s.apply_circuit(&c);
+    /// assert_eq!(s.marginal_probabilities(&[1]), vec![0.0, 1.0]);
+    /// ```
+    pub fn marginal_probabilities(&self, qubits: &[usize]) -> Vec<f64> {
+        for (i, &q) in qubits.iter().enumerate() {
+            assert!(q < self.num_qubits, "qubit {q} out of range");
+            assert!(
+                !qubits[..i].contains(&q),
+                "qubit {q} repeated in marginal"
+            );
+        }
+        let mut out = vec![0.0; 1usize << qubits.len()];
+        for (x, a) in self.amps.iter().enumerate() {
+            let mut key = 0usize;
+            for (j, &q) in qubits.iter().enumerate() {
+                key |= ((x >> q) & 1) << j;
+            }
+            out[key] += a.norm_sqr();
+        }
+        out
+    }
+}
+
+impl fmt::Display for Statevector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "statevector({} qubits):", self.num_qubits)?;
+        for (x, a) in self.amps.iter().enumerate() {
+            if a.norm_sqr() > 1e-12 {
+                writeln!(f, "  |{x:0width$b}⟩: {a}", width = self.num_qubits)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ghz(n: usize) -> Statevector {
+        let mut c = Circuit::new(n);
+        c.h(0);
+        for q in 1..n {
+            c.cx(q - 1, q);
+        }
+        let mut s = Statevector::zero(n);
+        s.apply_circuit(&c);
+        s
+    }
+
+    #[test]
+    fn zero_state_is_deterministic() {
+        let s = Statevector::zero(3);
+        let p = s.probabilities();
+        assert_eq!(p[0], 1.0);
+        assert_eq!(p[1..].iter().sum::<f64>(), 0.0);
+    }
+
+    #[test]
+    fn ghz_state_has_two_outcomes() {
+        let s = ghz(4);
+        let p = s.probabilities();
+        assert!((p[0b0000] - 0.5).abs() < 1e-12);
+        assert!((p[0b1111] - 0.5).abs() < 1e-12);
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cx_truth_table() {
+        // |10⟩ (qubit 0 = control = 0? careful: X on qubit 0 sets control)
+        for (input, expected) in [(0b00, 0b00), (0b01, 0b11), (0b10, 0b10), (0b11, 0b01)] {
+            let mut s = Statevector::zero(2);
+            if input & 1 != 0 {
+                s.apply_gate(Gate::X(0));
+            }
+            if input & 2 != 0 {
+                s.apply_gate(Gate::X(1));
+            }
+            s.apply_gate(Gate::Cx(0, 1));
+            let p = s.probabilities();
+            assert!((p[expected] - 1.0).abs() < 1e-12, "CX|{input:02b}⟩ ≠ |{expected:02b}⟩");
+        }
+    }
+
+    #[test]
+    fn swap_exchanges_qubits() {
+        let mut s = Statevector::zero(2);
+        s.apply_gate(Gate::X(0));
+        s.apply_gate(Gate::Swap(0, 1));
+        assert_eq!(s.probabilities()[0b10], 1.0);
+    }
+
+    #[test]
+    fn cz_phases_only_11() {
+        let mut s = ghz(2);
+        s.apply_gate(Gate::Cz(0, 1));
+        // amplitudes: (|00⟩ - |11⟩)/√2
+        assert!((s.amplitudes()[0b00].re - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+        assert!((s.amplitudes()[0b11].re + std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hadamard_is_self_inverse() {
+        let mut s = Statevector::zero(1);
+        s.apply_gate(Gate::H(0));
+        s.apply_gate(Gate::H(0));
+        assert!((s.probabilities()[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn marginal_of_ghz() {
+        let s = ghz(3);
+        let m = s.marginal_probabilities(&[2]);
+        assert!((m[0] - 0.5).abs() < 1e-12);
+        assert!((m[1] - 0.5).abs() < 1e-12);
+        // Two-qubit marginal is perfectly correlated.
+        let m2 = s.marginal_probabilities(&[0, 2]);
+        assert!((m2[0b00] - 0.5).abs() < 1e-12);
+        assert!((m2[0b11] - 0.5).abs() < 1e-12);
+        assert!(m2[0b01].abs() < 1e-12);
+    }
+
+    #[test]
+    fn marginal_order_matters() {
+        let mut s = Statevector::zero(2);
+        s.apply_gate(Gate::X(0));
+        assert_eq!(s.marginal_probabilities(&[0, 1]), vec![0.0, 1.0, 0.0, 0.0]);
+        assert_eq!(s.marginal_probabilities(&[1, 0]), vec![0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn fidelity_of_identical_states_is_one() {
+        let a = ghz(3);
+        let b = ghz(3);
+        assert!((a.fidelity(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fidelity_of_orthogonal_states_is_zero() {
+        let a = Statevector::zero(1);
+        let mut b = Statevector::zero(1);
+        b.apply_gate(Gate::X(0));
+        assert!(a.fidelity(&b).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "not normalized")]
+    fn from_amplitudes_checks_norm() {
+        Statevector::from_amplitudes(vec![C64::ONE, C64::ONE]);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn from_amplitudes_checks_length() {
+        Statevector::from_amplitudes(vec![C64::ONE, C64::ZERO, C64::ZERO]);
+    }
+}

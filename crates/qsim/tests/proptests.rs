@@ -1,0 +1,112 @@
+//! Property-based tests for the state-vector simulator.
+
+use proptest::prelude::*;
+use qsim::{Circuit, Gate, Statevector};
+
+/// Strategy producing an arbitrary gate on a circuit of `n` qubits.
+fn arb_gate(n: usize) -> impl Strategy<Value = Gate> {
+    let q = 0..n;
+    let theta = -6.3..6.3f64;
+    prop_oneof![
+        q.clone().prop_map(Gate::H),
+        q.clone().prop_map(Gate::X),
+        q.clone().prop_map(Gate::Y),
+        q.clone().prop_map(Gate::Z),
+        q.clone().prop_map(Gate::S),
+        q.clone().prop_map(Gate::Sdg),
+        q.clone().prop_map(Gate::T),
+        q.clone().prop_map(Gate::Tdg),
+        (q.clone(), theta.clone()).prop_map(|(q, t)| Gate::Rx(q, t)),
+        (q.clone(), theta.clone()).prop_map(|(q, t)| Gate::Ry(q, t)),
+        (q.clone(), theta).prop_map(|(q, t)| Gate::Rz(q, t)),
+        (0..n, 0..n).prop_filter_map("distinct qubits", |(a, b)| (a != b)
+            .then_some(Gate::Cx(a, b))),
+        (0..n, 0..n).prop_filter_map("distinct qubits", |(a, b)| (a != b)
+            .then_some(Gate::Cz(a, b))),
+        (0..n, 0..n).prop_filter_map("distinct qubits", |(a, b)| (a != b)
+            .then_some(Gate::Swap(a, b))),
+    ]
+}
+
+fn arb_circuit(n: usize, max_gates: usize) -> impl Strategy<Value = Circuit> {
+    prop::collection::vec(arb_gate(n), 0..max_gates).prop_map(move |gates| {
+        let mut c = Circuit::new(n);
+        c.extend(gates);
+        c
+    })
+}
+
+proptest! {
+    /// Unitary evolution preserves the norm of the state.
+    #[test]
+    fn circuits_preserve_norm(c in arb_circuit(4, 40)) {
+        let mut s = Statevector::zero(4);
+        s.apply_circuit(&c);
+        prop_assert!((s.norm_sqr() - 1.0).abs() < 1e-9);
+    }
+
+    /// Applying a circuit followed by its inverse returns to |0…0⟩.
+    #[test]
+    fn inverse_undoes_circuit(c in arb_circuit(3, 30)) {
+        let mut s = Statevector::zero(3);
+        s.apply_circuit(&c);
+        s.apply_circuit(&c.inverse());
+        prop_assert!((s.probabilities()[0] - 1.0).abs() < 1e-9);
+    }
+
+    /// Probabilities are a valid distribution: nonnegative, summing to one.
+    #[test]
+    fn probabilities_form_distribution(c in arb_circuit(4, 40)) {
+        let mut s = Statevector::zero(4);
+        s.apply_circuit(&c);
+        let p = s.probabilities();
+        prop_assert!(p.iter().all(|&x| x >= -1e-12));
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    /// A marginal over all qubits in identity order equals the full
+    /// distribution, and any marginal sums to one.
+    #[test]
+    fn marginals_are_consistent(c in arb_circuit(4, 30), qubits in proptest::sample::subsequence(vec![0usize, 1, 2, 3], 1..=4)) {
+        let mut s = Statevector::zero(4);
+        s.apply_circuit(&c);
+        let m = s.marginal_probabilities(&qubits);
+        prop_assert!((m.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        let full = s.marginal_probabilities(&[0, 1, 2, 3]);
+        let direct = s.probabilities();
+        for (a, b) in full.iter().zip(&direct) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    /// Fidelity is symmetric and bounded by [0, 1].
+    #[test]
+    fn fidelity_is_symmetric(a in arb_circuit(3, 20), b in arb_circuit(3, 20)) {
+        let mut sa = Statevector::zero(3);
+        sa.apply_circuit(&a);
+        let mut sb = Statevector::zero(3);
+        sb.apply_circuit(&b);
+        let f_ab = sa.fidelity(&sb);
+        let f_ba = sb.fidelity(&sa);
+        prop_assert!((f_ab - f_ba).abs() < 1e-9);
+        prop_assert!((-1e-9..=1.0 + 1e-9).contains(&f_ab));
+    }
+
+    /// Sampling from an exact distribution yields counts totalling `shots`
+    /// and supported only where the distribution is nonzero.
+    #[test]
+    fn sampling_respects_support(c in arb_circuit(3, 20), seed in 0u64..1000) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut s = Statevector::zero(3);
+        s.apply_circuit(&c);
+        let p = s.probabilities();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let counts = qsim::sample_counts(&p, 256, &mut rng);
+        prop_assert_eq!(counts.iter().sum::<u64>(), 256);
+        for (i, &cnt) in counts.iter().enumerate() {
+            if cnt > 0 {
+                prop_assert!(p[i] > 0.0, "sampled outcome {} has zero probability", i);
+            }
+        }
+    }
+}

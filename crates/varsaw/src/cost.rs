@@ -1,0 +1,114 @@
+//! The analytic circuit-cost scaling model behind Fig.8.
+//!
+//! The paper illustrates how per-iteration circuit counts scale with the
+//! number of qubits `Q`: Hamiltonian terms grow as `P ≈ 0.01·Q⁴`
+//! (Section 3.2, after Gokhale et al.), traditional VQA executes `O(P)`
+//! circuits,
+//! JigSaw adds `O(P·Q)` subsets, and VarSaw runs `O(k·P)` Globals plus
+//! `O(Q)` deduplicated subsets.
+
+/// The modelled number of Hamiltonian Pauli terms at `q` qubits
+/// (`P = 0.01·Q⁴`, floored at 1).
+pub fn pauli_terms(q: usize) -> f64 {
+    (0.01 * (q as f64).powi(4)).max(1.0)
+}
+
+/// Circuits per iteration for traditional VQA: one per post-commutation
+/// term, `O(P)`.
+pub fn traditional_cost(q: usize) -> f64 {
+    pauli_terms(q)
+}
+
+/// The number of sliding windows on a `q`-qubit register at window size
+/// `w`.
+fn windows(q: usize, w: usize) -> f64 {
+    (q.saturating_sub(w) + 1).max(1) as f64
+}
+
+/// The deduplicated subset count: at most one circuit per distinct non-
+/// identity window basis, `(4ʷ − 1)` per window position — `O(Q)` for fixed
+/// `w`.
+fn varsaw_subsets(q: usize, w: usize) -> f64 {
+    let distinct = (4f64.powi(w as i32) - 1.0) * windows(q, w);
+    distinct.min(pauli_terms(q) * windows(q, w))
+}
+
+/// Circuits per iteration for JigSaw-for-VQA: a Global per term plus all
+/// per-circuit windows, `O(P + P·Q) = O(Q⁵)`.
+///
+/// # Panics
+///
+/// Panics if `window == 0`.
+pub fn jigsaw_cost(q: usize, window: usize) -> f64 {
+    assert!(window > 0, "window size must be positive");
+    let p = pauli_terms(q);
+    p + p * windows(q, window)
+}
+
+/// Circuits per iteration for VarSaw: Globals on a `k` fraction of
+/// iterations plus the deduplicated subsets, `O(k·P + Q)`.
+///
+/// # Panics
+///
+/// Panics if `window == 0` or `k` is outside `[0, 1]`.
+pub fn varsaw_cost(q: usize, k: f64, window: usize) -> f64 {
+    assert!(window > 0, "window size must be positive");
+    assert!((0.0..=1.0).contains(&k), "global fraction must lie in [0, 1]");
+    k * pauli_terms(q) + varsaw_subsets(q, window)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pauli_terms_follow_q4() {
+        assert_eq!(pauli_terms(10), 100.0);
+        assert!((pauli_terms(100) - 1e6).abs() < 1e-6);
+        assert_eq!(pauli_terms(1), 1.0, "floored at one");
+    }
+
+    #[test]
+    fn jigsaw_is_about_q_times_traditional() {
+        for q in [50, 100, 500, 1000] {
+            let ratio = jigsaw_cost(q, 2) / traditional_cost(q);
+            assert!(
+                (ratio - (q as f64)).abs() < 2.0,
+                "ratio {ratio} at q={q}"
+            );
+        }
+    }
+
+    #[test]
+    fn varsaw_with_k1_tracks_traditional() {
+        // The paper notes the k=1 VarSaw line overlaps traditional VQA at
+        // scale: subsets are lower-order.
+        for q in [100, 500, 1000] {
+            let ratio = varsaw_cost(q, 1.0, 2) / traditional_cost(q);
+            assert!(ratio < 1.1, "ratio {ratio} at q={q}");
+            assert!(ratio >= 1.0);
+        }
+    }
+
+    #[test]
+    fn varsaw_with_small_k_beats_traditional() {
+        for q in [100, 500, 1000] {
+            assert!(varsaw_cost(q, 0.01, 2) < traditional_cost(q));
+            assert!(varsaw_cost(q, 0.001, 2) < varsaw_cost(q, 0.01, 2));
+        }
+    }
+
+    #[test]
+    fn varsaw_is_at_least_q_below_jigsaw() {
+        for q in [100, 500, 1000] {
+            let factor = jigsaw_cost(q, 2) / varsaw_cost(q, 0.01, 2);
+            assert!(factor > q as f64, "factor {factor} at q={q}");
+        }
+    }
+
+    #[test]
+    fn small_systems_do_not_underflow() {
+        assert!(varsaw_cost(2, 0.5, 2) > 0.0);
+        assert!(jigsaw_cost(2, 2) > 0.0);
+    }
+}

@@ -1,0 +1,544 @@
+//! The JigSaw-for-VQA and VarSaw objective evaluators.
+//!
+//! Both implement [`vqe::EnergyEvaluator`], so the same tuning loop
+//! ([`vqe::run_vqe`]) drives the paper's four comparison scenarios:
+//! Baseline (in the `vqe` crate), JigSaw, VarSaw, and the noise-free Ideal
+//! (Baseline on a noiseless device).
+
+use crate::spatial::SpatialPlan;
+use crate::temporal::{GlobalScheduler, TemporalPolicy};
+use mitigation::{mbm_correct, reconstruct, sliding_windows, Pmf, ReconstructionConfig};
+use pauli::Hamiltonian;
+use qsim::Statevector;
+use vqe::{EfficientSu2, EnergyEvaluator, GroupedHamiltonian, SimExecutor};
+
+/// JigSaw applied to VQA, application-agnostically (the paper's "JigSaw"
+/// comparison): every iteration, every basis circuit runs its Global *and*
+/// all of its sliding-window subset circuits, with no cross-circuit subset
+/// reduction and no Global reuse.
+#[derive(Clone, Debug)]
+pub struct JigsawEvaluator {
+    ansatz: EfficientSu2,
+    grouped: GroupedHamiltonian,
+    window: usize,
+    executor: SimExecutor,
+    recon: ReconstructionConfig,
+    mbm: bool,
+}
+
+impl JigsawEvaluator {
+    /// Creates a JigSaw evaluator with the given subset window size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ansatz and Hamiltonian qubit counts differ or
+    /// `window == 0`.
+    pub fn new(
+        hamiltonian: &Hamiltonian,
+        ansatz: EfficientSu2,
+        window: usize,
+        executor: SimExecutor,
+    ) -> Self {
+        assert_eq!(
+            ansatz.num_qubits(),
+            hamiltonian.num_qubits(),
+            "ansatz/Hamiltonian qubit mismatch"
+        );
+        assert!(window > 0, "window size must be positive");
+        JigsawEvaluator {
+            ansatz,
+            grouped: GroupedHamiltonian::new(hamiltonian),
+            window,
+            executor,
+            recon: ReconstructionConfig::default(),
+            mbm: false,
+        }
+    }
+
+    /// Enables matrix-based mitigation on every measured PMF.
+    pub fn with_mbm(mut self, enabled: bool) -> Self {
+        self.mbm = enabled;
+        self
+    }
+
+    /// Overrides the reconstruction configuration.
+    pub fn with_reconstruction(mut self, recon: ReconstructionConfig) -> Self {
+        self.recon = recon;
+        self
+    }
+
+    /// Circuits executed per objective evaluation: one Global plus all
+    /// subsets for every basis group.
+    pub fn circuits_per_evaluation(&self) -> usize {
+        self.grouped
+            .groups()
+            .iter()
+            .map(|g| 1 + sliding_windows(&g.basis, self.window).len())
+            .sum()
+    }
+
+    /// The grouped Hamiltonian.
+    pub fn grouped(&self) -> &GroupedHamiltonian {
+        &self.grouped
+    }
+
+    /// Runs a subset circuit: only the subset's support is measured, on the
+    /// best physical qubits.
+    fn run_subset(&mut self, state: &Statevector, basis: &pauli::PauliString) -> Pmf {
+        let pmf = self.executor.run_prepared(state, basis);
+        if self.mbm {
+            let cal = self.executor.calibration(pmf.num_qubits());
+            mbm_correct(&pmf, &cal)
+        } else {
+            pmf
+        }
+    }
+
+    /// Runs a Global circuit: the full register is measured (maximum
+    /// crosstalk), as in the original program execution.
+    fn run_global(&mut self, state: &Statevector, basis: &pauli::PauliString) -> Pmf {
+        let pmf = self.executor.run_prepared_all(state, basis);
+        if self.mbm {
+            let cal = self.executor.calibration(pmf.num_qubits());
+            mbm_correct(&pmf, &cal)
+        } else {
+            pmf
+        }
+    }
+}
+
+impl EnergyEvaluator for JigsawEvaluator {
+    fn evaluate(&mut self, params: &[f64]) -> f64 {
+        let mut state = Statevector::zero(self.ansatz.num_qubits());
+        state.apply_circuit(&self.ansatz.circuit(params));
+        let groups: Vec<_> = self.grouped.groups().to_vec();
+        let pmfs: Vec<Pmf> = groups
+            .iter()
+            .map(|g| {
+                let global = self.run_global(&state, &g.basis);
+                let locals: Vec<Pmf> = sliding_windows(&g.basis, self.window)
+                    .iter()
+                    .map(|s| self.run_subset(&state, s))
+                    .collect();
+                reconstruct(&global, &locals, self.recon)
+            })
+            .collect();
+        self.grouped.energy_from_pmfs(&pmfs)
+    }
+
+    fn circuits_executed(&self) -> u64 {
+        self.executor.circuits_executed()
+    }
+}
+
+/// VarSaw: JigSaw's measurement error mitigation with the spatial subset
+/// reduction ([`SpatialPlan`]) and selective Global execution
+/// ([`GlobalScheduler`]) — the paper's contribution.
+///
+/// Per objective evaluation:
+///
+/// 1. the reduced subset circuits execute (always);
+/// 2. if the scheduler calls for it, the Globals execute too, the
+///    mitigated result is computed both from the fresh Globals and from
+///    the chained priors, and the comparison feeds the sparsity hill
+///    climb (Fig.11);
+/// 3. otherwise the previous evaluation's Output-PMFs serve as the
+///    reconstruction priors (`MRᵢ` from `MRᵢ₋₁` and `MSᵢ`).
+#[derive(Clone, Debug)]
+pub struct VarSawEvaluator {
+    ansatz: EfficientSu2,
+    grouped: GroupedHamiltonian,
+    plan: SpatialPlan,
+    executor: SimExecutor,
+    scheduler: GlobalScheduler,
+    priors: Vec<Option<Pmf>>,
+    recon: ReconstructionConfig,
+    mbm: bool,
+}
+
+impl VarSawEvaluator {
+    /// Creates a VarSaw evaluator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ansatz and Hamiltonian qubit counts differ, or
+    /// `window == 0`, or the Hamiltonian has no measurable terms.
+    pub fn new(
+        hamiltonian: &Hamiltonian,
+        ansatz: EfficientSu2,
+        window: usize,
+        temporal: TemporalPolicy,
+        executor: SimExecutor,
+    ) -> Self {
+        Self::with_coefficient_floor(hamiltonian, ansatz, window, 0.0, temporal, executor)
+    }
+
+    /// [`VarSawEvaluator::new`] with selective mitigation: subsets are
+    /// planned only for terms with `|coefficient| >= floor` (the
+    /// Section 7.3 cost/accuracy knob — see
+    /// [`SpatialPlan::with_coefficient_floor`]). Basis windows without a
+    /// planned subset reconstruct from the Global alone.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`VarSawEvaluator::new`], plus `floor < 0`.
+    pub fn with_coefficient_floor(
+        hamiltonian: &Hamiltonian,
+        ansatz: EfficientSu2,
+        window: usize,
+        floor: f64,
+        temporal: TemporalPolicy,
+        executor: SimExecutor,
+    ) -> Self {
+        assert_eq!(
+            ansatz.num_qubits(),
+            hamiltonian.num_qubits(),
+            "ansatz/Hamiltonian qubit mismatch"
+        );
+        let grouped = GroupedHamiltonian::new(hamiltonian);
+        let plan = SpatialPlan::with_coefficient_floor(hamiltonian, window, floor);
+        // Both derive their bases from the same cover-grouping; keep the
+        // invariant explicit.
+        for (g, b) in grouped.groups().iter().zip(plan.bases()) {
+            assert_eq!(&g.basis, b, "grouping/bases order drifted");
+        }
+        let n = grouped.num_groups();
+        VarSawEvaluator {
+            ansatz,
+            grouped,
+            plan,
+            executor,
+            scheduler: GlobalScheduler::new(temporal),
+            priors: vec![None; n],
+            recon: ReconstructionConfig::default(),
+            mbm: false,
+        }
+    }
+
+    /// Enables matrix-based mitigation on every measured PMF.
+    pub fn with_mbm(mut self, enabled: bool) -> Self {
+        self.mbm = enabled;
+        self
+    }
+
+    /// Overrides the reconstruction configuration.
+    pub fn with_reconstruction(mut self, recon: ReconstructionConfig) -> Self {
+        self.recon = recon;
+        self
+    }
+
+    /// The spatial plan (for cost statistics).
+    pub fn plan(&self) -> &SpatialPlan {
+        &self.plan
+    }
+
+    /// The Global scheduler (for sparsity statistics).
+    pub fn scheduler(&self) -> &GlobalScheduler {
+        &self.scheduler
+    }
+
+    /// The grouped Hamiltonian.
+    pub fn grouped(&self) -> &GroupedHamiltonian {
+        &self.grouped
+    }
+
+    /// Runs a subset circuit (support-only measurement, best qubits).
+    fn run_subset(&mut self, state: &Statevector, basis: &pauli::PauliString) -> Pmf {
+        let pmf = self.executor.run_prepared(state, basis);
+        if self.mbm {
+            let cal = self.executor.calibration(pmf.num_qubits());
+            mbm_correct(&pmf, &cal)
+        } else {
+            pmf
+        }
+    }
+
+    /// Runs a Global circuit (full-register measurement).
+    fn run_global(&mut self, state: &Statevector, basis: &pauli::PauliString) -> Pmf {
+        let pmf = self.executor.run_prepared_all(state, basis);
+        if self.mbm {
+            let cal = self.executor.calibration(pmf.num_qubits());
+            mbm_correct(&pmf, &cal)
+        } else {
+            pmf
+        }
+    }
+}
+
+impl EnergyEvaluator for VarSawEvaluator {
+    fn evaluate(&mut self, params: &[f64]) -> f64 {
+        let mut state = Statevector::zero(self.ansatz.num_qubits());
+        state.apply_circuit(&self.ansatz.circuit(params));
+
+        // 1. Measurement Subsets: the reduced groups, once each.
+        let subset_bases: Vec<_> = self
+            .plan
+            .subset_groups()
+            .iter()
+            .map(|g| g.basis.clone())
+            .collect();
+        let subset_pmfs: Vec<Pmf> = subset_bases
+            .iter()
+            .map(|b| self.run_subset(&state, b))
+            .collect();
+
+        // Local PMFs per basis circuit, marginalized out of the groups.
+        let n_bases = self.grouped.num_groups();
+        let locals: Vec<Vec<Pmf>> = (0..n_bases)
+            .map(|b| {
+                self.plan
+                    .coverage(b)
+                    .iter()
+                    .map(|wc| subset_pmfs[wc.group].marginal(&wc.subset.support()))
+                    .collect()
+            })
+            .collect();
+
+        // 2./3. Reconstruction with fresh Globals and/or chained priors.
+        let have_priors = self.priors.iter().all(Option::is_some);
+        let run_global = self.scheduler.should_run_global() || !have_priors;
+
+        let chained: Option<Vec<Pmf>> = have_priors.then(|| {
+            (0..n_bases)
+                .map(|b| {
+                    let prior = self.priors[b].as_ref().expect("checked have_priors");
+                    reconstruct(prior, &locals[b], self.recon)
+                })
+                .collect()
+        });
+        let fresh: Option<Vec<Pmf>> = run_global.then(|| {
+            let bases: Vec<_> = self.grouped.groups().iter().map(|g| g.basis.clone()).collect();
+            bases
+                .iter()
+                .enumerate()
+                .map(|(b, basis)| {
+                    let global = self.run_global(&state, basis);
+                    reconstruct(&global, &locals[b], self.recon)
+                })
+                .collect()
+        });
+
+        let (energy, outputs) = match (fresh, chained) {
+            (Some(f), Some(c)) => {
+                let ef = self.grouped.energy_from_pmfs(&f);
+                let ec = self.grouped.energy_from_pmfs(&c);
+                self.scheduler.feedback(ef, ec);
+                if ec <= ef {
+                    (ec, c)
+                } else {
+                    (ef, f)
+                }
+            }
+            (Some(f), None) => (self.grouped.energy_from_pmfs(&f), f),
+            (None, Some(c)) => (self.grouped.energy_from_pmfs(&c), c),
+            (None, None) => unreachable!("first evaluation always runs Globals"),
+        };
+        self.priors = outputs.into_iter().map(Some).collect();
+        self.scheduler.advance(run_global);
+        energy
+    }
+
+    fn circuits_executed(&self) -> u64 {
+        self.executor.circuits_executed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qnoise::DeviceModel;
+    use vqe::{BaselineEvaluator, Entanglement};
+
+    /// Includes a weight-3 term so the Global circuits measure more qubits
+    /// than the window-2 subsets — the regime where mitigation has
+    /// something to recover.
+    fn toy_hamiltonian() -> Hamiltonian {
+        Hamiltonian::from_pairs(
+            3,
+            &[
+                (-0.8, "ZZZ"),
+                (-1.0, "ZZI"),
+                (-1.0, "IZZ"),
+                (-0.6, "XXI"),
+                (-0.6, "IXX"),
+                (0.4, "ZIZ"),
+            ],
+        )
+    }
+
+    fn ansatz() -> EfficientSu2 {
+        EfficientSu2::new(3, 1, Entanglement::Full)
+    }
+
+    /// A device where subsetting matters: strong measurement crosstalk
+    /// makes a 3-qubit simultaneous readout much noisier per qubit than a
+    /// 2-qubit subset readout. (With no crosstalk and identical qubits the
+    /// locals equal the global's own marginals and reconstruction is a
+    /// fixpoint — correctly, there is nothing to mitigate.)
+    fn crosstalky_device() -> DeviceModel {
+        DeviceModel::new(
+            "crosstalky",
+            vec![qnoise::ReadoutError::symmetric(0.04); 3],
+            qnoise::CrosstalkModel::new(0.6),
+            0.0,
+        )
+    }
+
+    #[test]
+    fn noiseless_varsaw_matches_baseline_energy() {
+        let h = toy_hamiltonian();
+        let params = ansatz().initial_parameters(3);
+        let mut base = BaselineEvaluator::new(
+            &h,
+            ansatz(),
+            SimExecutor::exact(DeviceModel::noiseless(3), 1),
+        );
+        let mut vs = VarSawEvaluator::new(
+            &h,
+            ansatz(),
+            2,
+            TemporalPolicy::EveryIteration,
+            SimExecutor::exact(DeviceModel::noiseless(3), 1),
+        );
+        let eb = base.evaluate(&params);
+        let ev = vs.evaluate(&params);
+        assert!(
+            (eb - ev).abs() < 1e-6,
+            "baseline {eb} vs varsaw {ev} (noiseless should agree)"
+        );
+    }
+
+    #[test]
+    fn varsaw_reduces_measurement_bias_under_noise() {
+        // At fixed parameters, the mitigated estimate should sit closer to
+        // the ideal value than the unmitigated baseline estimate.
+        let h = toy_hamiltonian();
+        let params = ansatz().initial_parameters(7);
+        let dev = crosstalky_device();
+        let mut ideal = BaselineEvaluator::new(
+            &h,
+            ansatz(),
+            SimExecutor::exact(DeviceModel::noiseless(3), 1),
+        );
+        let mut noisy = BaselineEvaluator::new(&h, ansatz(), SimExecutor::exact(dev.clone(), 1));
+        let mut vs = VarSawEvaluator::new(
+            &h,
+            ansatz(),
+            2,
+            TemporalPolicy::EveryIteration,
+            SimExecutor::exact(dev, 1),
+        );
+        let e_ideal = ideal.evaluate(&params);
+        let e_noisy = noisy.evaluate(&params);
+        let e_vs = vs.evaluate(&params);
+        assert!(
+            (e_vs - e_ideal).abs() < (e_noisy - e_ideal).abs(),
+            "varsaw {e_vs}, noisy {e_noisy}, ideal {e_ideal}"
+        );
+    }
+
+    #[test]
+    fn jigsaw_reduces_measurement_bias_under_noise() {
+        let h = toy_hamiltonian();
+        let params = ansatz().initial_parameters(7);
+        let dev = crosstalky_device();
+        let mut ideal = BaselineEvaluator::new(
+            &h,
+            ansatz(),
+            SimExecutor::exact(DeviceModel::noiseless(3), 1),
+        );
+        let mut noisy = BaselineEvaluator::new(&h, ansatz(), SimExecutor::exact(dev.clone(), 1));
+        let mut js = JigsawEvaluator::new(&h, ansatz(), 2, SimExecutor::exact(dev, 1));
+        let e_ideal = ideal.evaluate(&params);
+        let e_noisy = noisy.evaluate(&params);
+        let e_js = js.evaluate(&params);
+        assert!(
+            (e_js - e_ideal).abs() < (e_noisy - e_ideal).abs(),
+            "jigsaw {e_js}, noisy {e_noisy}, ideal {e_ideal}"
+        );
+    }
+
+    #[test]
+    fn varsaw_costs_fewer_circuits_than_jigsaw() {
+        let h = toy_hamiltonian();
+        let params = ansatz().initial_parameters(1);
+        let dev = DeviceModel::mumbai_like();
+        let mut js = JigsawEvaluator::new(&h, ansatz(), 2, SimExecutor::new(dev.clone(), 64, 1));
+        let mut vs = VarSawEvaluator::new(
+            &h,
+            ansatz(),
+            2,
+            TemporalPolicy::OneShot,
+            SimExecutor::new(dev, 64, 1),
+        );
+        for _ in 0..5 {
+            js.evaluate(&params);
+            vs.evaluate(&params);
+        }
+        assert!(
+            vs.circuits_executed() < js.circuits_executed(),
+            "varsaw {} vs jigsaw {}",
+            vs.circuits_executed(),
+            js.circuits_executed()
+        );
+    }
+
+    #[test]
+    fn one_shot_policy_runs_globals_once() {
+        let h = toy_hamiltonian();
+        let params = ansatz().initial_parameters(2);
+        let n_bases = GroupedHamiltonian::new(&h).num_groups() as u64;
+        let mut vs = VarSawEvaluator::new(
+            &h,
+            ansatz(),
+            2,
+            TemporalPolicy::OneShot,
+            SimExecutor::new(DeviceModel::mumbai_like(), 64, 2),
+        );
+        let subsets = vs.plan().stats().varsaw_subsets as u64;
+        vs.evaluate(&params);
+        let first = vs.circuits_executed();
+        assert_eq!(first, subsets + n_bases, "first eval runs subsets + globals");
+        vs.evaluate(&params);
+        assert_eq!(
+            vs.circuits_executed(),
+            first + subsets,
+            "later evals run subsets only"
+        );
+        assert_eq!(vs.scheduler().globals_run(), 1);
+    }
+
+    #[test]
+    fn adaptive_scheduler_state_progresses() {
+        let h = toy_hamiltonian();
+        let params = ansatz().initial_parameters(4);
+        let mut vs = VarSawEvaluator::new(
+            &h,
+            ansatz(),
+            2,
+            TemporalPolicy::Adaptive { initial_interval: 2 },
+            SimExecutor::new(DeviceModel::mumbai_like(), 128, 4),
+        );
+        for _ in 0..12 {
+            vs.evaluate(&params);
+        }
+        assert_eq!(vs.scheduler().evaluations(), 12);
+        let frac = vs.scheduler().global_fraction();
+        assert!(frac < 1.0 && frac > 0.0, "fraction {frac}");
+    }
+
+    #[test]
+    fn jigsaw_circuit_count_formula_matches_execution() {
+        let h = toy_hamiltonian();
+        let params = ansatz().initial_parameters(5);
+        let mut js = JigsawEvaluator::new(
+            &h,
+            ansatz(),
+            2,
+            SimExecutor::new(DeviceModel::mumbai_like(), 32, 5),
+        );
+        let per_eval = js.circuits_per_evaluation() as u64;
+        js.evaluate(&params);
+        assert_eq!(js.circuits_executed(), per_eval);
+    }
+}

@@ -1,0 +1,241 @@
+//! VarSaw's temporal optimization: Selective Execution of Globals.
+//!
+//! JigSaw re-executes the Global circuits every iteration; VarSaw observes
+//! that proximate VQA iterations produce nearly the same global
+//! distributions, while each fresh Global injects fresh measurement error
+//! (Section 3.3). The [`GlobalScheduler`] implements Fig.11's feedback
+//! design: Globals run every `k`-th objective evaluation; on those
+//! evaluations the mitigated result is computed both with the fresh Global
+//! and with the chained prior, and the comparison drives a hill climb on
+//! `k` — doubling the sparsity interval when the chained result is at
+//! least as good, halving it otherwise.
+
+use std::fmt;
+
+/// How often Global circuits are executed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TemporalPolicy {
+    /// A Global with every evaluation — "No-Sparsity", which is JigSaw's
+    /// behaviour (plus VarSaw's spatial optimization).
+    EveryIteration,
+    /// A single Global at the very first evaluation — "Max-Sparsity"
+    /// (Fig.9's extreme).
+    OneShot,
+    /// Hill-climbing sparsity starting from the given interval (Fig.11).
+    Adaptive {
+        /// The initial Global interval `k` (evaluations between Globals).
+        initial_interval: usize,
+    },
+}
+
+impl Default for TemporalPolicy {
+    fn default() -> Self {
+        TemporalPolicy::Adaptive {
+            initial_interval: 2,
+        }
+    }
+}
+
+impl fmt::Display for TemporalPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TemporalPolicy::EveryIteration => write!(f, "no-sparsity"),
+            TemporalPolicy::OneShot => write!(f, "max-sparsity"),
+            TemporalPolicy::Adaptive { initial_interval } => {
+                write!(f, "adaptive(k0={initial_interval})")
+            }
+        }
+    }
+}
+
+/// The runtime scheduler deciding, per objective evaluation, whether the
+/// Global circuits execute, and adapting the sparsity interval from result
+/// feedback.
+///
+/// # Examples
+///
+/// ```
+/// use varsaw::{GlobalScheduler, TemporalPolicy};
+///
+/// let mut sched = GlobalScheduler::new(TemporalPolicy::Adaptive { initial_interval: 2 });
+/// assert!(sched.should_run_global()); // evaluation 0 always runs one
+/// sched.advance(true);
+/// assert!(!sched.should_run_global());
+/// sched.advance(false);
+/// assert!(sched.should_run_global()); // interval 2 → evaluation 2
+/// ```
+#[derive(Clone, Debug)]
+pub struct GlobalScheduler {
+    policy: TemporalPolicy,
+    interval: usize,
+    max_interval: usize,
+    eval_index: usize,
+    next_global: usize,
+    globals_run: usize,
+}
+
+impl GlobalScheduler {
+    /// Creates a scheduler for a policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an adaptive policy has `initial_interval == 0`.
+    pub fn new(policy: TemporalPolicy) -> Self {
+        let interval = match policy {
+            TemporalPolicy::EveryIteration => 1,
+            TemporalPolicy::OneShot => usize::MAX,
+            TemporalPolicy::Adaptive { initial_interval } => {
+                assert!(initial_interval > 0, "adaptive interval must be positive");
+                initial_interval
+            }
+        };
+        GlobalScheduler {
+            policy,
+            interval,
+            max_interval: 1 << 20,
+            eval_index: 0,
+            next_global: 0,
+            globals_run: 0,
+        }
+    }
+
+    /// The policy this scheduler runs.
+    pub fn policy(&self) -> TemporalPolicy {
+        self.policy
+    }
+
+    /// The current Global interval `k`.
+    pub fn interval(&self) -> usize {
+        self.interval
+    }
+
+    /// Whether the Globals should execute on the *current* evaluation.
+    pub fn should_run_global(&self) -> bool {
+        self.eval_index >= self.next_global
+    }
+
+    /// Advances to the next evaluation, recording whether Globals ran.
+    pub fn advance(&mut self, ran_global: bool) {
+        if ran_global {
+            self.globals_run += 1;
+            if self.next_global != usize::MAX {
+                self.next_global = self.eval_index.saturating_add(self.interval.max(1));
+            }
+        }
+        if matches!(self.policy, TemporalPolicy::OneShot) {
+            self.next_global = usize::MAX;
+        }
+        self.eval_index += 1;
+    }
+
+    /// Feedback from a Global evaluation (Fig.11): `chained` is the energy
+    /// of the result built from the previous Mitigated Result and the fresh
+    /// Subsets; `fresh` is the energy using the fresh Global. Lower energy
+    /// is better. Only adapts under [`TemporalPolicy::Adaptive`].
+    pub fn feedback(&mut self, fresh: f64, chained: f64) {
+        if !matches!(self.policy, TemporalPolicy::Adaptive { .. }) {
+            return;
+        }
+        if chained <= fresh {
+            // Staleness is no worse than fresh measurement error: sparser.
+            self.interval = (self.interval.saturating_mul(2)).min(self.max_interval);
+        } else {
+            self.interval = (self.interval / 2).max(1);
+        }
+    }
+
+    /// Evaluations seen so far.
+    pub fn evaluations(&self) -> usize {
+        self.eval_index
+    }
+
+    /// Globals executed so far.
+    pub fn globals_run(&self) -> usize {
+        self.globals_run
+    }
+
+    /// The fraction of evaluations on which Globals executed (Fig.14's
+    /// secondary axis).
+    pub fn global_fraction(&self) -> f64 {
+        if self.eval_index == 0 {
+            0.0
+        } else {
+            self.globals_run as f64 / self.eval_index as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(sched: &mut GlobalScheduler, evals: usize) -> Vec<bool> {
+        (0..evals)
+            .map(|_| {
+                let run = sched.should_run_global();
+                sched.advance(run);
+                run
+            })
+            .collect()
+    }
+
+    #[test]
+    fn every_iteration_runs_all_globals() {
+        let mut s = GlobalScheduler::new(TemporalPolicy::EveryIteration);
+        let runs = drive(&mut s, 10);
+        assert!(runs.iter().all(|&r| r));
+        assert_eq!(s.global_fraction(), 1.0);
+    }
+
+    #[test]
+    fn one_shot_runs_exactly_one_global() {
+        let mut s = GlobalScheduler::new(TemporalPolicy::OneShot);
+        let runs = drive(&mut s, 50);
+        assert_eq!(runs.iter().filter(|&&r| r).count(), 1);
+        assert!(runs[0]);
+        assert!((s.global_fraction() - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adaptive_interval_doubles_on_good_chained_results() {
+        let mut s = GlobalScheduler::new(TemporalPolicy::Adaptive { initial_interval: 2 });
+        assert!(s.should_run_global());
+        s.feedback(1.0, 0.9); // chained better → interval 4
+        s.advance(true);
+        assert_eq!(s.interval(), 4);
+        let runs = drive(&mut s, 4);
+        assert_eq!(runs, vec![false, false, false, true]);
+    }
+
+    #[test]
+    fn adaptive_interval_halves_on_bad_chained_results() {
+        let mut s = GlobalScheduler::new(TemporalPolicy::Adaptive { initial_interval: 8 });
+        s.feedback(1.0, 2.0);
+        assert_eq!(s.interval(), 4);
+        s.feedback(1.0, 2.0);
+        s.feedback(1.0, 2.0);
+        s.feedback(1.0, 2.0);
+        assert_eq!(s.interval(), 1, "interval floors at 1");
+    }
+
+    #[test]
+    fn adaptive_schedule_follows_interval() {
+        let mut s = GlobalScheduler::new(TemporalPolicy::Adaptive { initial_interval: 3 });
+        let runs = drive(&mut s, 7);
+        assert_eq!(runs, vec![true, false, false, true, false, false, true]);
+        assert_eq!(s.globals_run(), 3);
+    }
+
+    #[test]
+    fn non_adaptive_policies_ignore_feedback() {
+        let mut s = GlobalScheduler::new(TemporalPolicy::EveryIteration);
+        s.feedback(1.0, 0.0);
+        assert_eq!(s.interval(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_adaptive_interval_rejected() {
+        GlobalScheduler::new(TemporalPolicy::Adaptive { initial_interval: 0 });
+    }
+}

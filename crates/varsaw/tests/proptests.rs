@@ -1,0 +1,107 @@
+//! Property-based tests for the VarSaw core: spatial-plan invariants over
+//! random Hamiltonians and scheduler invariants over random feedback.
+
+use pauli::{Hamiltonian, Pauli, PauliString, PauliTerm};
+use proptest::prelude::*;
+use varsaw::{GlobalScheduler, SpatialPlan, TemporalPolicy};
+
+fn arb_string(n: usize) -> impl Strategy<Value = PauliString> {
+    prop::collection::vec(
+        prop::sample::select(vec![Pauli::I, Pauli::X, Pauli::Y, Pauli::Z]),
+        n,
+    )
+    .prop_map(PauliString::new)
+}
+
+fn arb_hamiltonian(n: usize) -> impl Strategy<Value = Hamiltonian> {
+    prop::collection::vec((arb_string(n), -2.0..2.0f64), 1..30).prop_map(move |terms| {
+        let mut h = Hamiltonian::new(n);
+        for (s, c) in terms {
+            if !s.is_identity() && c != 0.0 {
+                h.push(PauliTerm::new(c, s));
+            }
+        }
+        // Guarantee at least one measurable term.
+        if h.measurable_terms().is_empty() {
+            h.push(PauliTerm::new(1.0, PauliString::single(n, 0, Pauli::Z)));
+        }
+        h
+    })
+}
+
+proptest! {
+    /// Spatial plan invariants: every covered window is covered by its
+    /// group's basis, group supports fit the window, VarSaw never runs
+    /// more subsets than JigSaw, and at floor 0 every basis window has
+    /// coverage.
+    #[test]
+    fn spatial_plan_invariants(h in arb_hamiltonian(5), window in 1usize..4) {
+        let plan = SpatialPlan::new(&h, window);
+        let stats = plan.stats();
+        prop_assert!(stats.varsaw_subsets <= stats.jigsaw_subsets);
+        prop_assert!(stats.baseline_circuits <= stats.hamiltonian_terms);
+        let mut covered_windows = 0;
+        for (b, _) in plan.bases().iter().enumerate() {
+            for wc in plan.coverage(b) {
+                covered_windows += 1;
+                let group = &plan.subset_groups()[wc.group];
+                prop_assert!(group.basis.covers(&wc.subset));
+                let sup = group.basis.support();
+                prop_assert!(!sup.is_empty());
+                prop_assert!(sup.last().unwrap() - sup.first().unwrap() < window.max(1));
+            }
+        }
+        prop_assert_eq!(covered_windows, stats.jigsaw_subsets,
+            "floor 0 covers every basis window");
+    }
+
+    /// A coefficient floor only removes subsets, never adds them, and an
+    /// infinite floor removes them all.
+    #[test]
+    fn coefficient_floor_is_monotone(h in arb_hamiltonian(5), floor in 0.0..2.5f64) {
+        let full = SpatialPlan::new(&h, 2).stats();
+        let filtered = SpatialPlan::with_coefficient_floor(&h, 2, floor).stats();
+        prop_assert!(filtered.varsaw_subsets <= full.varsaw_subsets);
+        let none = SpatialPlan::with_coefficient_floor(&h, 2, f64::INFINITY).stats();
+        prop_assert_eq!(none.varsaw_subsets, 0);
+    }
+
+    /// Scheduler invariants: the global fraction stays within (0, 1], the
+    /// first evaluation always runs a Global, and OneShot runs exactly one.
+    #[test]
+    fn scheduler_invariants(
+        feedback in prop::collection::vec((-10.0..10.0f64, -10.0..10.0f64), 1..60),
+        k0 in 1usize..16,
+    ) {
+        let mut adaptive = GlobalScheduler::new(TemporalPolicy::Adaptive { initial_interval: k0 });
+        let mut oneshot = GlobalScheduler::new(TemporalPolicy::OneShot);
+        prop_assert!(adaptive.should_run_global());
+        prop_assert!(oneshot.should_run_global());
+        for &(fresh, chained) in &feedback {
+            for sched in [&mut adaptive, &mut oneshot] {
+                let run = sched.should_run_global();
+                if run {
+                    sched.feedback(fresh, chained);
+                }
+                sched.advance(run);
+                prop_assert!(sched.interval() >= 1);
+            }
+        }
+        prop_assert!(adaptive.global_fraction() > 0.0);
+        prop_assert!(adaptive.global_fraction() <= 1.0);
+        prop_assert_eq!(oneshot.globals_run(), 1);
+    }
+
+    /// Cost-model sanity over the whole qubit range: JigSaw dominates
+    /// traditional dominates VarSaw-with-small-k.
+    #[test]
+    fn cost_model_ordering(q in 8usize..1000, k in 0.0..0.05f64) {
+        use varsaw::cost;
+        let trad = cost::traditional_cost(q);
+        let jig = cost::jigsaw_cost(q, 2);
+        let vs = cost::varsaw_cost(q, k, 2);
+        prop_assert!(jig > trad);
+        prop_assert!(vs <= cost::varsaw_cost(q, 1.0, 2));
+        prop_assert!(vs >= 0.0);
+    }
+}

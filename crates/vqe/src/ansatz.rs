@@ -1,0 +1,249 @@
+//! Hardware-efficient ansatz construction.
+
+use qsim::Circuit;
+use std::fmt;
+
+/// The entangling topology of the hardware-efficient ansatz.
+///
+/// The paper's main evaluation uses `Full` entanglement (Section 5.1) and
+/// Section 6.6 sweeps the other types (Table 3).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Entanglement {
+    /// CX between every qubit pair `(i, j)`, `i < j`.
+    #[default]
+    Full,
+    /// CX along the line: `(i, i+1)`.
+    Linear,
+    /// Linear plus the closing `(n−1, 0)` coupler.
+    Circular,
+    /// A star rooted at qubit 0: `(0, j)` for every other qubit. (The paper
+    /// names an "Asymmetric" ansatz without defining it; a star is the
+    /// natural asymmetric counterpart of the symmetric topologies.)
+    Asymmetric,
+}
+
+impl Entanglement {
+    /// The CX (control, target) pairs for `n` qubits.
+    pub fn pairs(&self, n: usize) -> Vec<(usize, usize)> {
+        match self {
+            Entanglement::Full => {
+                let mut v = Vec::new();
+                for i in 0..n {
+                    for j in (i + 1)..n {
+                        v.push((i, j));
+                    }
+                }
+                v
+            }
+            Entanglement::Linear => (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect(),
+            Entanglement::Circular => {
+                let mut v: Vec<_> = (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect();
+                if n > 2 {
+                    v.push((n - 1, 0));
+                }
+                v
+            }
+            Entanglement::Asymmetric => (1..n).map(|j| (0, j)).collect(),
+        }
+    }
+}
+
+impl fmt::Display for Entanglement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Entanglement::Full => "full",
+            Entanglement::Linear => "linear",
+            Entanglement::Circular => "circular",
+            Entanglement::Asymmetric => "asymmetric",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// The hardware-efficient SU2 ansatz (Qiskit's `EfficientSU2`): alternating
+/// layers of per-qubit RY·RZ rotations and CX entanglers, closed by a final
+/// rotation layer. `reps` is the paper's ansatz depth `p` (2 in the main
+/// evaluation, swept in Table 4).
+///
+/// # Examples
+///
+/// ```
+/// use vqe::{EfficientSu2, Entanglement};
+///
+/// let ansatz = EfficientSu2::new(4, 2, Entanglement::Full);
+/// assert_eq!(ansatz.num_parameters(), 2 * 4 * 3);
+/// let c = ansatz.circuit(&vec![0.1; ansatz.num_parameters()]);
+/// assert_eq!(c.num_qubits(), 4);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct EfficientSu2 {
+    num_qubits: usize,
+    reps: usize,
+    entanglement: Entanglement,
+}
+
+impl EfficientSu2 {
+    /// Creates an ansatz over `num_qubits` with `reps` entangling blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits == 0`.
+    pub fn new(num_qubits: usize, reps: usize, entanglement: Entanglement) -> Self {
+        assert!(num_qubits > 0, "ansatz needs at least one qubit");
+        EfficientSu2 {
+            num_qubits,
+            reps,
+            entanglement,
+        }
+    }
+
+    /// The number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The number of entangling repetitions (the paper's `p`).
+    pub fn reps(&self) -> usize {
+        self.reps
+    }
+
+    /// The entangling topology.
+    pub fn entanglement(&self) -> Entanglement {
+        self.entanglement
+    }
+
+    /// The number of free parameters: `2·n·(reps + 1)` (an RY and an RZ per
+    /// qubit per rotation layer).
+    pub fn num_parameters(&self) -> usize {
+        2 * self.num_qubits * (self.reps + 1)
+    }
+
+    /// Builds the concrete circuit for a parameter assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.len() != num_parameters()`.
+    pub fn circuit(&self, params: &[f64]) -> Circuit {
+        assert_eq!(
+            params.len(),
+            self.num_parameters(),
+            "expected {} parameters, got {}",
+            self.num_parameters(),
+            params.len()
+        );
+        let n = self.num_qubits;
+        let mut c = Circuit::new(n);
+        let mut p = params.iter().copied();
+        let rotation_layer = |c: &mut Circuit, p: &mut dyn Iterator<Item = f64>| {
+            for q in 0..n {
+                c.ry(q, p.next().expect("parameter count checked"));
+            }
+            for q in 0..n {
+                c.rz(q, p.next().expect("parameter count checked"));
+            }
+        };
+        for _ in 0..self.reps {
+            rotation_layer(&mut c, &mut p);
+            for (a, b) in self.entanglement.pairs(n) {
+                c.cx(a, b);
+            }
+        }
+        rotation_layer(&mut c, &mut p);
+        c
+    }
+
+    /// A deterministic random initial parameter vector in `(−π/4, π/4)` —
+    /// a perturbed reference-state start (like Qiskit's near-zero default),
+    /// which keeps independent runs in comparable optimization basins.
+    pub fn initial_parameters(&self, seed: u64) -> Vec<f64> {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..self.num_parameters())
+            .map(|_| (rng.random::<f64>() - 0.5) * 0.5 * std::f64::consts::PI)
+            .collect()
+    }
+}
+
+impl fmt::Display for EfficientSu2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "EfficientSU2({} qubits, p={}, {})",
+            self.num_qubits, self.reps, self.entanglement
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim::Statevector;
+
+    #[test]
+    fn parameter_count_follows_formula() {
+        for (n, p) in [(2, 1), (4, 2), (6, 4), (8, 8)] {
+            let a = EfficientSu2::new(n, p, Entanglement::Full);
+            assert_eq!(a.num_parameters(), 2 * n * (p + 1));
+        }
+    }
+
+    #[test]
+    fn entanglement_pair_counts() {
+        assert_eq!(Entanglement::Full.pairs(5).len(), 10);
+        assert_eq!(Entanglement::Linear.pairs(5).len(), 4);
+        assert_eq!(Entanglement::Circular.pairs(5).len(), 5);
+        assert_eq!(Entanglement::Asymmetric.pairs(5).len(), 4);
+    }
+
+    #[test]
+    fn circular_on_two_qubits_does_not_duplicate() {
+        assert_eq!(Entanglement::Circular.pairs(2), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn circuit_gate_count() {
+        let a = EfficientSu2::new(3, 2, Entanglement::Linear);
+        let c = a.circuit(&vec![0.0; a.num_parameters()]);
+        // 3 rotation layers of 6 gates + 2 entangling layers of 2 CX.
+        assert_eq!(c.gate_count(), 18 + 4);
+        assert_eq!(c.two_qubit_gate_count(), 4);
+    }
+
+    #[test]
+    fn zero_parameters_prepare_zero_state() {
+        // RY(0) and RZ(0) are identity (up to global phase), CX on |00..0⟩
+        // is identity.
+        let a = EfficientSu2::new(3, 2, Entanglement::Full);
+        let c = a.circuit(&vec![0.0; a.num_parameters()]);
+        let mut s = Statevector::zero(3);
+        s.apply_circuit(&c);
+        assert!((s.probabilities()[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parameters_change_the_state() {
+        let a = EfficientSu2::new(2, 1, Entanglement::Full);
+        let mut s1 = Statevector::zero(2);
+        s1.apply_circuit(&a.circuit(&vec![0.3; a.num_parameters()]));
+        let mut s2 = Statevector::zero(2);
+        s2.apply_circuit(&a.circuit(&vec![0.7; a.num_parameters()]));
+        assert!(s1.fidelity(&s2) < 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn initial_parameters_are_seeded() {
+        let a = EfficientSu2::new(4, 2, Entanglement::Full);
+        assert_eq!(a.initial_parameters(5), a.initial_parameters(5));
+        assert_ne!(a.initial_parameters(5), a.initial_parameters(6));
+        assert!(a
+            .initial_parameters(5)
+            .iter()
+            .all(|t| t.abs() < std::f64::consts::PI));
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 12 parameters")]
+    fn wrong_parameter_count_panics() {
+        EfficientSu2::new(2, 2, Entanglement::Full).circuit(&[0.0; 3]);
+    }
+}

@@ -1,0 +1,34 @@
+//! Classical optimizers (the paper's "tuners", Section 5.1).
+
+mod imfil;
+mod nelder_mead;
+mod spsa;
+
+pub use imfil::ImFil;
+pub use nelder_mead::NelderMead;
+pub use spsa::Spsa;
+
+/// The outcome of one optimizer iteration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StepResult {
+    /// Number of objective evaluations the step consumed.
+    pub evals: usize,
+    /// The mean of the objective values observed during the step — the
+    /// "measured energy" recorded in the VQE traces (no extra evaluation is
+    /// spent on trace recording).
+    pub mean_objective: f64,
+}
+
+/// A derivative-free stochastic optimizer driving the VQA parameter loop.
+///
+/// Implementations mutate `params` in place using only calls to
+/// `objective`. They must tolerate noisy objectives — every evaluation is a
+/// finite-shot, noisy quantum execution.
+pub trait Optimizer {
+    /// Performs one tuning iteration.
+    fn step(&mut self, params: &mut [f64], objective: &mut dyn FnMut(&[f64]) -> f64)
+        -> StepResult;
+
+    /// A short human-readable name ("spsa", "imfil").
+    fn name(&self) -> &str;
+}

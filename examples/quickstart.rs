@@ -1,0 +1,58 @@
+//! Quickstart: run VarSaw-mitigated VQE on a small Ising Hamiltonian and
+//! compare it with the unmitigated baseline and the noise-free ideal.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use pauli::Hamiltonian;
+use qnoise::DeviceModel;
+use varsaw::{run_method, Method, RunSetup, TemporalPolicy};
+use vqe::{EfficientSu2, Entanglement, VqeConfig};
+
+fn main() {
+    // 1. The problem: a 4-qubit Ising-like Hamiltonian.
+    let h = Hamiltonian::from_pairs(
+        4,
+        &[
+            (-1.0, "ZZII"),
+            (-1.0, "IZZI"),
+            (-1.0, "IIZZ"),
+            (-0.8, "ZZZZ"),
+            (-0.5, "XIII"),
+            (-0.5, "IXII"),
+            (-0.5, "IIXI"),
+            (-0.5, "IIIX"),
+        ],
+    );
+    let reference = h.ground_energy(7);
+    println!("exact ground energy: {reference:.4}");
+
+    // 2. The setup: hardware-efficient ansatz on a noisy simulated device.
+    let ansatz = EfficientSu2::new(4, 2, Entanglement::Full);
+    let config = VqeConfig {
+        max_iterations: 150,
+        max_circuits: None,
+    };
+
+    // 3. Run the three scenarios.
+    for (label, device, method) in [
+        ("ideal   ", DeviceModel::noiseless(4), Method::Baseline),
+        ("baseline", DeviceModel::mumbai_like(), Method::Baseline),
+        (
+            "varsaw  ",
+            DeviceModel::mumbai_like(),
+            Method::VarSaw(TemporalPolicy::default()),
+        ),
+    ] {
+        let setup = RunSetup::new(h.clone(), ansatz.clone(), device, 23);
+        let out = run_method(&setup, method, &config);
+        println!(
+            "{label}  energy {:>8.4}   circuits {:>7}   iterations {}",
+            out.trace.converged_energy(0.2),
+            out.trace.total_circuits(),
+            out.trace.iterations(),
+        );
+    }
+    println!("\nVarSaw should land between the baseline and the ideal, at similar cost.");
+}

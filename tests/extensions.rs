@@ -1,0 +1,152 @@
+//! Integration tests for the extension surface: QAOA workloads, spin
+//! chains, alternative tuners, selective mitigation and QASM export.
+
+use chem::{heisenberg_chain, maxcut_hamiltonian, random_graph};
+use qnoise::DeviceModel;
+use varsaw::{Method, RunSetup, SpatialPlan, TemporalPolicy};
+use vqe::{
+    run_vqe, BaselineEvaluator, EfficientSu2, Entanglement, ImFil, NelderMead, Optimizer,
+    SimExecutor, Spsa, VqeConfig,
+};
+
+#[test]
+fn qaoa_maxcut_vqe_finds_a_good_cut() {
+    // MaxCut on a 4-cycle: optimum −4. A noiseless VQE should get close.
+    let h = maxcut_hamiltonian(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)]);
+    let ansatz = EfficientSu2::new(4, 2, Entanglement::Linear);
+    let mut eval = BaselineEvaluator::new(
+        &h,
+        ansatz.clone(),
+        SimExecutor::new(DeviceModel::noiseless(4), 1024, 3),
+    );
+    let mut tuner = Spsa::new(5);
+    let trace = run_vqe(
+        &mut eval,
+        &mut tuner,
+        ansatz.initial_parameters(1),
+        &VqeConfig {
+            max_iterations: 400,
+            max_circuits: None,
+        },
+    );
+    assert!(
+        trace.converged_energy(0.1) < -3.0,
+        "cut energy {}",
+        trace.converged_energy(0.1)
+    );
+}
+
+#[test]
+fn qaoa_hamiltonians_have_trivial_spatial_plans() {
+    // All-Z cost Hamiltonians collapse into very few measurement bases —
+    // the boundary case where VarSaw's spatial optimization is cheap but
+    // cannot help much, exactly as Section 7.3 predicts.
+    let edges = random_graph(8, 0.5, 11);
+    let h = maxcut_hamiltonian(8, &edges);
+    let plan = SpatialPlan::new(&h, 2);
+    let stats = plan.stats();
+    assert!(stats.varsaw_subsets <= 7, "Z-only subsets: {}", stats.varsaw_subsets);
+    assert!(stats.varsaw_subsets <= stats.jigsaw_subsets);
+}
+
+#[test]
+fn all_three_tuners_reduce_the_objective() {
+    let h = heisenberg_chain(4, 1.0, 0.8, 0.6, 0.4);
+    let ansatz = EfficientSu2::new(4, 1, Entanglement::Full);
+    let run = |tuner: &mut dyn Optimizer| {
+        let mut eval = BaselineEvaluator::new(
+            &h,
+            ansatz.clone(),
+            SimExecutor::new(DeviceModel::noiseless(4), 2048, 7),
+        );
+        let trace = run_vqe(
+            &mut eval,
+            tuner,
+            ansatz.initial_parameters(2),
+            &VqeConfig {
+                max_iterations: 120,
+                max_circuits: None,
+            },
+        );
+        (trace.energies[0], trace.converged_energy(0.1))
+    };
+    for tuner in [
+        &mut Spsa::new(1) as &mut dyn Optimizer,
+        &mut ImFil::new(0.4),
+        &mut NelderMead::new(0.4),
+    ] {
+        let (start, end) = run(tuner);
+        assert!(
+            end < start - 0.3,
+            "{}: start {start}, end {end}",
+            tuner.name()
+        );
+    }
+}
+
+#[test]
+fn selective_mitigation_interpolates_between_varsaw_and_baseline() {
+    let h = heisenberg_chain(5, 1.0, 0.8, 0.6, 0.4);
+    let full = SpatialPlan::new(&h, 2).stats().varsaw_subsets;
+    let some = SpatialPlan::with_coefficient_floor(&h, 2, 0.7)
+        .stats()
+        .varsaw_subsets;
+    let none = SpatialPlan::with_coefficient_floor(&h, 2, 10.0)
+        .stats()
+        .varsaw_subsets;
+    assert!(none == 0);
+    assert!(some > none && some < full, "{none} < {some} < {full}");
+}
+
+#[test]
+fn varsaw_runs_on_spin_chain_workloads() {
+    let h = heisenberg_chain(4, 1.0, 1.0, 1.0, 0.5);
+    let setup = RunSetup::new(
+        h,
+        EfficientSu2::new(4, 1, Entanglement::Full),
+        DeviceModel::mumbai_like(),
+        13,
+    );
+    let out = varsaw::run_method(
+        &setup,
+        Method::VarSaw(TemporalPolicy::default()),
+        &VqeConfig {
+            max_iterations: 15,
+            max_circuits: None,
+        },
+    );
+    assert_eq!(out.trace.iterations(), 15);
+    assert!(out.spatial.unwrap().varsaw_subsets > 0);
+}
+
+#[test]
+fn ansatz_circuits_export_to_qasm() {
+    let ansatz = EfficientSu2::new(3, 1, Entanglement::Circular);
+    let circuit = ansatz.circuit(&ansatz.initial_parameters(4));
+    let qasm = qsim::to_qasm(&circuit, &[0, 1, 2]);
+    assert!(qasm.contains("OPENQASM 2.0;"));
+    assert!(qasm.contains("qreg q[3];"));
+    assert_eq!(qasm.matches("ry(").count(), 6);
+    assert_eq!(qasm.matches("cx ").count(), 3);
+    assert_eq!(qasm.matches("measure ").count(), 3);
+}
+
+#[test]
+fn pauli_algebra_links_to_grouping() {
+    // Qubit-wise compatible Hamiltonian terms always fully commute — the
+    // containment the paper's Section 3.1 relies on.
+    use pauli::{fully_commute, group_by_cover, PauliString};
+    let h = heisenberg_chain(4, 1.0, 1.0, 1.0, 0.3);
+    let strings: Vec<PauliString> = h
+        .measurable_terms()
+        .iter()
+        .map(|t| t.string().clone())
+        .collect();
+    for g in group_by_cover(&strings) {
+        for &a in &g.members {
+            for &b in &g.members {
+                assert!(fully_commute(&strings[a], &strings[b]));
+            }
+        }
+    }
+}
