@@ -11,9 +11,7 @@ use varsaw::{
     cost, run_method, JigsawEvaluator, Method, RunSetup, SpatialPlan, TemporalPolicy,
     VarSawEvaluator,
 };
-use vqe::{
-    BaselineEvaluator, EfficientSu2, EnergyEvaluator, Entanglement, SimExecutor, VqeConfig,
-};
+use vqe::{BaselineEvaluator, EfficientSu2, EnergyEvaluator, Entanglement, SimExecutor, VqeConfig};
 
 fn spec(label: &str) -> MoleculeSpec {
     let (name, qubits) = label.split_once('-').unwrap();

@@ -69,9 +69,7 @@ fn bench_reconstruction(c: &mut Criterion) {
     st.apply_circuit(&circuit);
     let qubits: Vec<usize> = (0..n).collect();
     let global = Pmf::new(qubits.clone(), st.probabilities());
-    let locals: Vec<Pmf> = (0..n - 1)
-        .map(|w| global.marginal(&[w, w + 1]))
-        .collect();
+    let locals: Vec<Pmf> = (0..n - 1).map(|w| global.marginal(&[w, w + 1])).collect();
     c.bench_function("reconstruction/bayesian_8q_7windows", |b| {
         b.iter(|| {
             std::hint::black_box(reconstruct(

@@ -1,3 +1,17 @@
 //! Benchmark crate for the VarSaw reproduction. See `benches/kernels.rs`
 //! (computational kernels) and `benches/figures.rs` (one unit per paper
-//! table/figure).
+//! table/figure). Run them with `cargo bench -p bench`.
+//!
+//! The library itself is empty — it exists so the bench targets have a
+//! package to hang off — but the harness they use is exercised here:
+//!
+//! ```
+//! use criterion::Criterion;
+//! use std::time::Duration;
+//!
+//! let mut c = Criterion::default()
+//!     .sample_size(2)
+//!     .warm_up_time(Duration::from_millis(1))
+//!     .measurement_time(Duration::from_millis(5));
+//! c.bench_function("doc/noop", |b| b.iter(|| std::hint::black_box(1 + 1)));
+//! ```

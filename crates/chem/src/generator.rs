@@ -2,7 +2,7 @@
 //!
 //! The paper derives its Hamiltonians from PySCF (Section 5.2); with no
 //! chemistry stack available we substitute structurally faithful synthetic
-//! Hamiltonians (DESIGN.md §1). The generator reproduces the features the
+//! Hamiltonians (see ARCHITECTURE.md). The generator reproduces the features the
 //! VarSaw pipeline is sensitive to:
 //!
 //! - the exact per-molecule term counts of Table 2,
@@ -54,9 +54,9 @@ pub fn molecular_hamiltonian(spec: &MoleculeSpec) -> Hamiltonian {
     let mut h = Hamiltonian::new(n);
 
     let push = |h: &mut Hamiltonian,
-                    seen: &mut HashSet<PauliString>,
-                    coeff: f64,
-                    s: PauliString|
+                seen: &mut HashSet<PauliString>,
+                coeff: f64,
+                s: PauliString|
      -> bool {
         if h.num_terms() >= target || seen.contains(&s) {
             return false;
@@ -233,10 +233,7 @@ mod tests {
         // The spatial optimization needs terms across measurement bases.
         let spec = MoleculeSpec::find("H2O", 6).unwrap();
         let h = molecular_hamiltonian(&spec);
-        let has = |p: Pauli| {
-            h.iter()
-                .any(|t| t.string().paulis().contains(&p))
-        };
+        let has = |p: Pauli| h.iter().any(|t| t.string().paulis().contains(&p));
         assert!(has(Pauli::X) && has(Pauli::Y) && has(Pauli::Z));
     }
 

@@ -6,7 +6,7 @@
 //! - [`MoleculeSpec`] / [`table2`] / [`temporal_workloads`]: the paper's
 //!   Table 2 workload inventory, with exact qubit and Pauli-term counts,
 //! - [`molecular_hamiltonian`]: a deterministic synthetic
-//!   electronic-structure-like Hamiltonian generator (see DESIGN.md for the
+//!   electronic-structure-like Hamiltonian generator (see ARCHITECTURE.md for the
 //!   substitution rationale),
 //! - [`tfim_chain`] / [`tfim_paper`]: transverse-field Ising Hamiltonians
 //!   for the real-device experiment (Fig.16),
@@ -28,8 +28,6 @@
 //! assert!(reference < h.identity_offset());
 //! ```
 
-#![warn(missing_docs)]
-
 mod generator;
 mod molecule;
 mod qaoa;
@@ -37,7 +35,7 @@ mod spin;
 mod tfim;
 
 pub use generator::molecular_hamiltonian;
-pub use spin::{heisenberg_chain, xy_chain};
 pub use molecule::{table2, temporal_workloads, MoleculeSpec};
 pub use qaoa::{maxcut_hamiltonian, random_graph};
+pub use spin::{heisenberg_chain, xy_chain};
 pub use tfim::{tfim_chain, tfim_paper};

@@ -45,7 +45,9 @@ impl MoleculeSpec {
     /// Looks up a workload from the Table 2 registry by name and qubit
     /// count.
     pub fn find(name: &str, qubits: usize) -> Option<MoleculeSpec> {
-        table2().into_iter().find(|m| m.name == name && m.qubits == qubits)
+        table2()
+            .into_iter()
+            .find(|m| m.name == name && m.qubits == qubits)
     }
 }
 
@@ -66,7 +68,7 @@ impl fmt::Display for MoleculeSpec {
 ///
 /// Qubit and Pauli-term counts are taken verbatim from the paper; the
 /// Hamiltonian *contents* are synthetic (see [`crate::molecular_hamiltonian`]
-/// and DESIGN.md).
+/// and ARCHITECTURE.md).
 pub fn table2() -> Vec<MoleculeSpec> {
     fn spec(
         name: &'static str,

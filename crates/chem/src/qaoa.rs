@@ -31,7 +31,10 @@ pub fn maxcut_hamiltonian(n: usize, edges: &[(usize, usize, f64)]) -> Hamiltonia
     assert!(n > 0, "graph needs at least one vertex");
     let mut h = Hamiltonian::new(n);
     for &(u, v, w) in edges {
-        assert!(u < n && v < n, "edge ({u}, {v}) out of range for {n} vertices");
+        assert!(
+            u < n && v < n,
+            "edge ({u}, {v}) out of range for {n} vertices"
+        );
         assert!(u != v, "self-loop on vertex {u}");
         let mut s = PauliString::identity(n);
         s.set(u, Pauli::Z);

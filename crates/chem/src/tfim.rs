@@ -57,10 +57,7 @@ pub fn tfim_chain(n: usize, j: f64, h: f64, periodic: bool) -> Hamiltonian {
 /// assert_eq!(h.num_terms(), 3);
 /// ```
 pub fn tfim_paper() -> Hamiltonian {
-    Hamiltonian::from_pairs(
-        5,
-        &[(-1.0, "ZZIII"), (-1.0, "IIZZZ"), (-0.7, "XXXXX")],
-    )
+    Hamiltonian::from_pairs(5, &[(-1.0, "ZZIII"), (-1.0, "IIZZZ"), (-0.7, "XXXXX")])
 }
 
 #[cfg(test)]

@@ -1,16 +1,16 @@
 //! Ablation studies beyond the paper's figures: the Section 7.3
 //! extensions (selective term mitigation, spin-chain workloads) and the
-//! design choices DESIGN.md calls out (cover vs union grouping).
+//! design choices ARCHITECTURE.md calls out (cover vs union grouping).
 
 use crate::harness::{adaptive, molecule_setup, parallel_map, Options};
 use crate::report::{fmt, results_path, Table};
 use chem::{heisenberg_chain, molecular_hamiltonian, xy_chain, MoleculeSpec};
 use pauli::{group_by_cover, group_by_union, PauliString};
 use qnoise::DeviceModel;
-use varsaw::{percent_gap_recovered, run_method, RunSetup, SpatialPlan, TemporalPolicy,
-    VarSawEvaluator};
-use vqe::{BaselineEvaluator, EfficientSu2, EnergyEvaluator, Entanglement, SimExecutor,
-    VqeConfig};
+use varsaw::{
+    percent_gap_recovered, run_method, RunSetup, SpatialPlan, TemporalPolicy, VarSawEvaluator,
+};
+use vqe::{BaselineEvaluator, EfficientSu2, EnergyEvaluator, Entanglement, SimExecutor, VqeConfig};
 
 /// Selective mitigation (Section 7.3): sweep the coefficient floor and
 /// measure the cost/accuracy trade-off at fixed parameters.
@@ -20,10 +20,8 @@ pub fn selective_mitigation(opts: &Options) {
     let h = molecular_hamiltonian(&spec);
     let ansatz = EfficientSu2::new(6, 2, Entanglement::Full);
     // Tuned parameters from a noiseless run.
-    let setup = crate::harness::with_device(
-        molecule_setup(&spec, spec.seed),
-        DeviceModel::noiseless(6),
-    );
+    let setup =
+        crate::harness::with_device(molecule_setup(&spec, spec.seed), DeviceModel::noiseless(6));
     let params = run_method(
         &setup,
         varsaw::Method::Baseline,
@@ -68,7 +66,11 @@ pub fn selective_mitigation(opts: &Options) {
         ]);
     }
     t.print();
-    t.write_csv(&results_path(&opts.out_dir, "ablation", "selective_mitigation.csv"));
+    t.write_csv(&results_path(
+        &opts.out_dir,
+        "ablation",
+        "selective_mitigation.csv",
+    ));
     println!("expected: accuracy degrades gracefully as the floor rises; floor=inf ≈ 0%");
 }
 
@@ -184,5 +186,5 @@ pub fn grouping(opts: &Options) {
     t.print();
     t.write_csv(&results_path(&opts.out_dir, "ablation", "grouping.csv"));
     println!("* union grouping of subsets can merge across windows, losing the small-subset");
-    println!("  property — which is why VarSaw uses cover grouping (see DESIGN.md §2.2)");
+    println!("  property — which is why VarSaw uses cover grouping (see ARCHITECTURE.md)");
 }

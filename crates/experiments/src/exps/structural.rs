@@ -92,10 +92,8 @@ pub fn fig7(opts: &Options) {
     t.print();
 
     let mut hist = Table::new(["pauli", "parents"]);
-    let mut sorted: Vec<(String, usize)> = all
-        .iter()
-        .map(|s| (s.to_string(), parents(s)))
-        .collect();
+    let mut sorted: Vec<(String, usize)> =
+        all.iter().map(|s| (s.to_string(), parents(s))).collect();
     sorted.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     for (name, n) in &sorted {
         hist.row([name.clone(), n.to_string()]);
@@ -141,7 +139,13 @@ pub fn fig8(opts: &Options) {
 /// Table 2: the workload inventory with generated-Hamiltonian checks.
 pub fn table2_exp(opts: &Options) {
     println!("Table 2: molecular workloads (synthetic Hamiltonians, counts from the paper)");
-    let mut t = Table::new(["molecule", "qubits", "pauli terms", "temporal?", "baseline circuits"]);
+    let mut t = Table::new([
+        "molecule",
+        "qubits",
+        "pauli terms",
+        "temporal?",
+        "baseline circuits",
+    ]);
     for spec in table2() {
         let h = molecular_hamiltonian(&spec);
         let strings: Vec<PauliString> = h

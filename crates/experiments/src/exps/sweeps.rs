@@ -3,16 +3,14 @@
 //! (subset sizes), Table 5 (noise scales).
 
 use crate::harness::{
-    adaptive, max_sparsity, mean_converged, molecule_setup, no_sparsity, parallel_map,
-    run_trials, with_device, Options,
+    adaptive, max_sparsity, mean_converged, molecule_setup, no_sparsity, parallel_map, run_trials,
+    with_device, Options,
 };
 use crate::report::{fmt, results_path, Table};
 use chem::{molecular_hamiltonian, tfim_paper, MoleculeSpec};
 use qnoise::DeviceModel;
 use varsaw::{percent_gap_recovered, run_method, Method, RunSetup, SpatialPlan, VarSawEvaluator};
-use vqe::{
-    BaselineEvaluator, EfficientSu2, EnergyEvaluator, Entanglement, SimExecutor, VqeConfig,
-};
+use vqe::{BaselineEvaluator, EfficientSu2, EnergyEvaluator, Entanglement, SimExecutor, VqeConfig};
 
 const TAIL: f64 = 0.1;
 
@@ -89,16 +87,14 @@ pub fn fig16(opts: &Options) {
     t.print();
     t.write_csv(&results_path(&opts.out_dir, "fig16", "fig16_summary.csv"));
     println!("reference (exact E0): {}", fmt(reference));
-    println!("paper shape: sparse VarSaw completes ~4x the iterations and reaches a better objective");
+    println!(
+        "paper shape: sparse VarSaw completes ~4x the iterations and reaches a better objective"
+    );
 }
 
 /// Shared engine for Tables 3 and 4: % inaccuracy mitigated by VarSaw with
 /// selective Global execution over VarSaw without it, at a fixed budget.
-fn selective_vs_nonselective(
-    spec: &MoleculeSpec,
-    ansatz: EfficientSu2,
-    opts: &Options,
-) -> f64 {
+fn selective_vs_nonselective(spec: &MoleculeSpec, ansatz: EfficientSu2, opts: &Options) -> f64 {
     let iters = opts.iterations();
     let trials = opts.trials();
     let mk = |seed: u64| {

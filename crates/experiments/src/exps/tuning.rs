@@ -1,8 +1,8 @@
 //! Full-VQE-tuning experiments: Table 1, Fig.9, Fig.13, Fig.14, Fig.15.
 
 use crate::harness::{
-    adaptive, max_sparsity, mean_converged, molecule_setup, no_sparsity, parallel_map,
-    run_trials, with_device, Options,
+    adaptive, max_sparsity, mean_converged, molecule_setup, no_sparsity, parallel_map, run_trials,
+    with_device, Options,
 };
 use crate::report::{fmt, results_path, Table};
 use chem::{molecular_hamiltonian, temporal_workloads, MoleculeSpec};
@@ -132,9 +132,11 @@ pub(crate) fn write_series_pub(
 ) {
     let mut t = Table::new(
         std::iter::once("iteration".to_string())
-            .chain(columns.iter().flat_map(|(name, _)| {
-                [format!("{name}:energy"), format!("{name}:circuits")]
-            }))
+            .chain(
+                columns
+                    .iter()
+                    .flat_map(|(name, _)| [format!("{name}:energy"), format!("{name}:circuits")]),
+            )
             .collect::<Vec<_>>(),
     );
     let len = columns
@@ -223,7 +225,11 @@ pub fn fig13(opts: &Options) {
     let budget = per_iter * iters as u64;
 
     let jobs: Vec<(&str, Method, DeviceModel)> = vec![
-        ("ideal", Method::Baseline, DeviceModel::noiseless(spec.qubits)),
+        (
+            "ideal",
+            Method::Baseline,
+            DeviceModel::noiseless(spec.qubits),
+        ),
         ("baseline", Method::Baseline, DeviceModel::mumbai_like()),
         ("jigsaw", Method::Jigsaw, DeviceModel::mumbai_like()),
         ("varsaw", adaptive(), DeviceModel::mumbai_like()),
@@ -238,8 +244,7 @@ pub fn fig13(opts: &Options) {
             ),
         )
     });
-    let columns: Vec<(&str, &varsaw::MethodOutcome)> =
-        outs.iter().map(|(n, o)| (*n, o)).collect();
+    let columns: Vec<(&str, &varsaw::MethodOutcome)> = outs.iter().map(|(n, o)| (*n, o)).collect();
     write_series_pub(opts, "fig13", "fig13_series.csv", &columns);
 
     let h = molecular_hamiltonian(&spec);
@@ -319,14 +324,7 @@ pub fn fig14(opts: &Options) {
                 )
             })
             .collect();
-        (
-            spec.label(),
-            e_ideal,
-            e_base,
-            e_vs,
-            median(per_trial),
-            frac,
-        )
+        (spec.label(), e_ideal, e_base, e_vs, median(per_trial), frac)
     });
     let mut t = Table::new([
         "molecule",
@@ -405,8 +403,7 @@ pub fn fig15(opts: &Options) {
         let e_ideal = mean_converged(&ideal, TAIL);
         let e_jig = mean_converged(&jig, 0.3); // short traces: wider tail
         let e_vs = mean_converged(&vs, TAIL);
-        let jig_iters =
-            jig.iter().map(|o| o.trace.iterations()).sum::<usize>() / jig.len();
+        let jig_iters = jig.iter().map(|o| o.trace.iterations()).sum::<usize>() / jig.len();
         let vs_iters = vs.iter().map(|o| o.trace.iterations()).sum::<usize>() / vs.len();
         let per_trial: Vec<f64> = ideal
             .iter()

@@ -74,13 +74,10 @@ pub fn run_trials(
     config: &VqeConfig,
     trials: u64,
 ) -> Vec<MethodOutcome> {
-    parallel_map(
-        (0..trials).collect::<Vec<_>>(),
-        |&t| {
-            let setup = make_setup(1000 + t * 7919);
-            run_method(&setup, method, config)
-        },
-    )
+    parallel_map((0..trials).collect::<Vec<_>>(), |&t| {
+        let setup = make_setup(1000 + t * 7919);
+        run_method(&setup, method, config)
+    })
 }
 
 /// The mean converged energy across trial outcomes (tail-averaged traces).

@@ -1,5 +1,22 @@
 //! Experiment harnesses regenerating every table and figure of the VarSaw
-//! paper's evaluation (see DESIGN.md for the experiment index).
+//! paper's evaluation.
+//!
+//! Each experiment id accepted by the `experiments` binary (`table1`…
+//! `table5`, `fig6`…`fig19`, the ablations, or `all`) maps to a function
+//! in [`exps`]; [`harness`] holds the shared setup/trial plumbing and the
+//! `--full` scaling knobs, and [`report`] renders aligned text tables and
+//! CSV files.
+//!
+//! # Example
+//!
+//! ```
+//! use experiments::report::Table;
+//!
+//! let mut t = Table::new(["method", "energy"]);
+//! t.row(["baseline", "-0.912"]).row(["varsaw", "-1.388"]);
+//! let rendered = t.render();
+//! assert!(rendered.contains("baseline") && rendered.contains("varsaw"));
+//! ```
 
 pub mod exps;
 pub mod harness;

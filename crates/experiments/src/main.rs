@@ -11,10 +11,7 @@ fn main() {
         match a.as_str() {
             "--full" => opts.full = true,
             "--out" => {
-                opts.out_dir = args
-                    .next()
-                    .expect("--out needs a directory")
-                    .into();
+                opts.out_dir = args.next().expect("--out needs a directory").into();
             }
             c if command.is_none() => command = Some(c.to_string()),
             other => {
@@ -66,9 +63,24 @@ fn run(command: &str, opts: &Options) {
         }
         "all" => {
             for id in [
-                "fig6", "fig7", "fig8", "table2", "fig12", "table1", "fig9", "fig13",
-                "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "table3",
-                "table4", "table5", "ablations",
+                "fig6",
+                "fig7",
+                "fig8",
+                "table2",
+                "fig12",
+                "table1",
+                "fig9",
+                "fig13",
+                "fig14",
+                "fig15",
+                "fig16",
+                "fig17",
+                "fig18",
+                "fig19",
+                "table3",
+                "table4",
+                "table5",
+                "ablations",
             ] {
                 println!("\n=== {id} ===");
                 run(id, opts);

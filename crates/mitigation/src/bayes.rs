@@ -108,7 +108,10 @@ mod tests {
 
     #[test]
     fn fixpoint_when_local_matches_marginal() {
-        let global = Pmf::new(vec![0, 1, 2], vec![0.2, 0.05, 0.1, 0.15, 0.05, 0.1, 0.15, 0.2]);
+        let global = Pmf::new(
+            vec![0, 1, 2],
+            vec![0.2, 0.05, 0.1, 0.15, 0.05, 0.1, 0.15, 0.2],
+        );
         let local = global.marginal(&[1, 2]);
         let out = reconstruct(&global, &[local], ReconstructionConfig::default());
         assert!(out.tvd(&global) < 1e-7);
@@ -160,8 +163,22 @@ mod tests {
             Pmf::new(vec![0], vec![0.8, 0.2]),
             Pmf::new(vec![1], vec![0.3, 0.7]),
         ];
-        let once = reconstruct(&global, &locals, ReconstructionConfig { epsilon: 1e-9, rounds: 1 });
-        let many = reconstruct(&global, &locals, ReconstructionConfig { epsilon: 1e-9, rounds: 8 });
+        let once = reconstruct(
+            &global,
+            &locals,
+            ReconstructionConfig {
+                epsilon: 1e-9,
+                rounds: 1,
+            },
+        );
+        let many = reconstruct(
+            &global,
+            &locals,
+            ReconstructionConfig {
+                epsilon: 1e-9,
+                rounds: 8,
+            },
+        );
         // After many rounds both marginals should be (nearly) satisfied.
         let m0 = many.marginal(&[0]);
         let m1 = many.marginal(&[1]);

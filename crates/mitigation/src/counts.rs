@@ -73,7 +73,12 @@ impl Counts {
 
 impl fmt::Display for Counts {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "counts over qubits {:?} ({} shots):", self.qubits, self.shots())?;
+        writeln!(
+            f,
+            "counts over qubits {:?} ({} shots):",
+            self.qubits,
+            self.shots()
+        )?;
         for (x, c) in self.counts.iter().enumerate() {
             if *c > 0 {
                 writeln!(f, "  {x:0width$b}: {c}", width = self.qubits.len().max(1))?;

@@ -152,7 +152,10 @@ mod tests {
         qnoise::apply_readout_errors(&mut noisy, &[qnoise::ReadoutError::symmetric(0.12); 3]);
         let global = Counts::new(
             vec![0, 1, 2],
-            noisy.iter().map(|p| (p * 100_000.0).round() as u64).collect(),
+            noisy
+                .iter()
+                .map(|p| (p * 100_000.0).round() as u64)
+                .collect(),
         );
         let locals: Vec<Counts> = plan
             .subsets()
@@ -162,7 +165,10 @@ mod tests {
                 let m = ideal.marginal(&sub);
                 Counts::new(
                     sub,
-                    m.probs().iter().map(|p| (p * 100_000.0).round() as u64).collect(),
+                    m.probs()
+                        .iter()
+                        .map(|p| (p * 100_000.0).round() as u64)
+                        .collect(),
                 )
             })
             .collect();

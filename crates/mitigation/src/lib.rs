@@ -23,8 +23,6 @@
 //! assert!(output.marginal(&[0]).prob(0) > 0.9);
 //! ```
 
-#![warn(missing_docs)]
-
 mod bayes;
 mod counts;
 mod jigsaw;

@@ -176,7 +176,11 @@ impl fmt::Display for Pmf {
         writeln!(f, "pmf over qubits {:?}:", self.qubits)?;
         for (x, p) in self.probs.iter().enumerate() {
             if *p > 1e-9 {
-                writeln!(f, "  {x:0width$b}: {p:.6}", width = self.qubits.len().max(1))?;
+                writeln!(
+                    f,
+                    "  {x:0width$b}: {p:.6}",
+                    width = self.qubits.len().max(1)
+                )?;
             }
         }
         Ok(())

@@ -52,10 +52,7 @@ pub fn sliding_windows(basis: &PauliString, window: usize) -> Vec<PauliString> {
 /// measurement bases (no cross-circuit deduplication — JigSaw is
 /// application-agnostic, Section 3.2).
 pub fn jigsaw_subset_count(bases: &[PauliString], window: usize) -> usize {
-    bases
-        .iter()
-        .map(|b| sliding_windows(b, window).len())
-        .sum()
+    bases.iter().map(|b| sliding_windows(b, window).len()).sum()
 }
 
 #[cfg(test)]

@@ -141,9 +141,7 @@ pub fn fully_commute(a: &PauliString, b: &PauliString) -> bool {
         .paulis()
         .iter()
         .zip(b.paulis())
-        .filter(|(&pa, &pb)| {
-            !pa.is_identity() && !pb.is_identity() && pa != pb
-        })
+        .filter(|(&pa, &pb)| !pa.is_identity() && !pb.is_identity() && pa != pb)
         .count();
     anticommuting_positions % 2 == 0
 }

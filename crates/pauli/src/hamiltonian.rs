@@ -2,7 +2,7 @@
 
 use crate::string::PauliString;
 use crate::term::PauliTerm;
-use qsim::{C64, HermitianOp, Statevector};
+use qsim::{HermitianOp, Statevector, C64};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -283,11 +283,7 @@ mod tests {
         let x = st.amplitudes();
         let mut y = vec![C64::ZERO; 4];
         h.apply(x, &mut y);
-        let via_apply: f64 = x
-            .iter()
-            .zip(&y)
-            .map(|(a, b)| (a.conj() * *b).re)
-            .sum();
+        let via_apply: f64 = x.iter().zip(&y).map(|(a, b)| (a.conj() * *b).re).sum();
         assert!((via_apply - h.expectation(&st)).abs() < 1e-12);
     }
 }

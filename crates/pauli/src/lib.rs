@@ -22,8 +22,6 @@
 //! assert_eq!(groups.len(), 2); // {ZZ, ZI} measured together, {XI} alone
 //! ```
 
-#![warn(missing_docs)]
-
 mod algebra;
 mod expectation;
 mod grouping;

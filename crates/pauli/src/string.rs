@@ -1,7 +1,7 @@
 //! Multi-qubit Pauli strings.
 
 use crate::pauli::Pauli;
-use qsim::{C64, Statevector};
+use qsim::{Statevector, C64};
 use std::fmt;
 use std::str::FromStr;
 

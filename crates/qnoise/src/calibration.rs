@@ -30,10 +30,7 @@ use crate::readout::ReadoutError;
 /// assert!((errs[0].p10() - 0.02).abs() < 1e-12);
 /// assert!((errs[0].p01() - 0.05).abs() < 1e-12);
 /// ```
-pub fn fit_readout_errors(
-    zeros: &[(u64, u64)],
-    ones: &[(u64, u64)],
-) -> Vec<ReadoutError> {
+pub fn fit_readout_errors(zeros: &[(u64, u64)], ones: &[(u64, u64)]) -> Vec<ReadoutError> {
     assert_eq!(
         zeros.len(),
         ones.len(),

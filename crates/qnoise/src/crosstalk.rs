@@ -37,7 +37,10 @@ impl CrosstalkModel {
     ///
     /// Panics if `per_neighbor` is negative.
     pub fn new(per_neighbor: f64) -> Self {
-        assert!(per_neighbor >= 0.0, "crosstalk amplification must be nonnegative");
+        assert!(
+            per_neighbor >= 0.0,
+            "crosstalk amplification must be nonnegative"
+        );
         CrosstalkModel { per_neighbor }
     }
 

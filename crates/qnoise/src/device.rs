@@ -6,7 +6,7 @@
 //! *deterministic synthetic* devices with per-qubit readout-error rates in
 //! the 1–7% band the paper cites, asymmetric in the hardware-typical
 //! direction, plus a crosstalk model and an optional depolarizing channel
-//! standing in for all non-measurement noise. See DESIGN.md §1 for the
+//! standing in for all non-measurement noise. See ARCHITECTURE.md for the
 //! substitution rationale.
 
 use crate::crosstalk::CrosstalkModel;

@@ -24,8 +24,6 @@
 //! assert!(probs[0] > 0.9); // small error on the best qubits
 //! ```
 
-#![warn(missing_docs)]
-
 mod calibration;
 mod channel;
 mod crosstalk;

@@ -139,9 +139,7 @@ mod tests {
     fn flip_statistics_match_probabilities() {
         let e = ReadoutError::new(0.2, 0.0);
         let mut rng = StdRng::seed_from_u64(5);
-        let flips = (0..10_000)
-            .filter(|_| e.flip_bit(false, &mut rng))
-            .count();
+        let flips = (0..10_000).filter(|_| e.flip_bit(false, &mut rng)).count();
         let rate = flips as f64 / 10_000.0;
         assert!((rate - 0.2).abs() < 0.02, "rate {rate}");
         // A true 1 never flips with p01 = 0.

@@ -72,7 +72,11 @@ impl Circuit {
             );
         }
         if qs.len() == 2 {
-            assert!(qs[0] != qs[1], "two-qubit gate {gate} repeats qubit {}", qs[0]);
+            assert!(
+                qs[0] != qs[1],
+                "two-qubit gate {gate} repeats qubit {}",
+                qs[0]
+            );
         }
         self.gates.push(gate);
         self
@@ -182,7 +186,12 @@ impl Circuit {
 
 impl fmt::Display for Circuit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "circuit({} qubits, {} gates):", self.num_qubits, self.gates.len())?;
+        writeln!(
+            f,
+            "circuit({} qubits, {} gates):",
+            self.num_qubits,
+            self.gates.len()
+        )?;
         for g in &self.gates {
             writeln!(f, "  {g}")?;
         }

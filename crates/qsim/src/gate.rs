@@ -109,10 +109,7 @@ impl Gate {
             ],
             Gate::Rx(_, t) => {
                 let (c, s) = ((t / 2.0).cos(), (t / 2.0).sin());
-                [
-                    [r(c), C64::new(0.0, -s)],
-                    [C64::new(0.0, -s), r(c)],
-                ]
+                [[r(c), C64::new(0.0, -s)], [C64::new(0.0, -s), r(c)]]
             }
             Gate::Ry(_, t) => {
                 let (c, s) = ((t / 2.0).cos(), (t / 2.0).sin());

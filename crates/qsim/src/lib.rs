@@ -31,8 +31,6 @@
 //! assert_eq!(counts[0b01] + counts[0b10], 0); // only 00 and 11 occur
 //! ```
 
-#![warn(missing_docs)]
-
 mod circuit;
 mod complex;
 mod gate;

@@ -93,11 +93,7 @@ pub fn lowest_eigenvalue<O: HermitianOp>(
         op.apply(&v, &mut w);
 
         // alpha_k = <v, w>  (real for Hermitian op)
-        let alpha: f64 = v
-            .iter()
-            .zip(&w)
-            .map(|(a, b)| (a.conj() * *b).re)
-            .sum();
+        let alpha: f64 = v.iter().zip(&w).map(|(a, b)| (a.conj() * *b).re).sum();
         alphas.push(alpha);
 
         // w -= alpha*v + beta_{k-1}*v_{k-1}
@@ -187,7 +183,11 @@ pub fn smallest_tridiagonal_eigenvalue(alphas: &[f64], betas: &[f64]) -> f64 {
         }
         for i in 1..n {
             let b2 = betas[i - 1] * betas[i - 1];
-            let denom = if d.abs() < 1e-300 { 1e-300_f64.copysign(d + 1e-300) } else { d };
+            let denom = if d.abs() < 1e-300 {
+                1e-300_f64.copysign(d + 1e-300)
+            } else {
+                d
+            };
             d = alphas[i] - x - b2 / denom;
             if d < 0.0 {
                 count += 1;
@@ -286,7 +286,12 @@ mod tests {
         let op = Diag(diag.clone());
         let want = diag.iter().cloned().fold(f64::INFINITY, f64::min);
         let r = lowest_eigenvalue(&op, 200, 1e-12, 11);
-        assert!((r.eigenvalue - want).abs() < 1e-8, "{} vs {}", r.eigenvalue, want);
+        assert!(
+            (r.eigenvalue - want).abs() < 1e-8,
+            "{} vs {}",
+            r.eigenvalue,
+            want
+        );
     }
 
     #[test]

@@ -92,9 +92,20 @@ mod tests {
         c.push(crate::gate::Gate::Tdg(1));
         let qasm = to_qasm(&c, &[]);
         for token in [
-            "h q[0];", "x q[1];", "y q[2];", "z q[0];", "s q[1];", "sdg q[2];",
-            "rx(0.5) q[0];", "ry(-0.25) q[1];", "rz(1.5) q[2];", "cx q[0], q[1];",
-            "cz q[1], q[2];", "swap q[0], q[2];", "t q[0];", "tdg q[1];",
+            "h q[0];",
+            "x q[1];",
+            "y q[2];",
+            "z q[0];",
+            "s q[1];",
+            "sdg q[2];",
+            "rx(0.5) q[0];",
+            "ry(-0.25) q[1];",
+            "rz(1.5) q[2];",
+            "cx q[0], q[1];",
+            "cz q[1], q[2];",
+            "swap q[0], q[2];",
+            "t q[0];",
+            "tdg q[1];",
         ] {
             assert!(qasm.contains(token), "missing {token} in:\n{qasm}");
         }

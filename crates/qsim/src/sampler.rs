@@ -42,7 +42,10 @@ pub fn sample_index<R: Rng + ?Sized>(probs: &[f64], rng: &mut R) -> usize {
 }
 
 fn cumulative(probs: &[f64]) -> Vec<f64> {
-    assert!(!probs.is_empty(), "cannot sample from an empty distribution");
+    assert!(
+        !probs.is_empty(),
+        "cannot sample from an empty distribution"
+    );
     let mut cdf = Vec::with_capacity(probs.len());
     let mut acc = 0.0;
     for &p in probs {

@@ -50,7 +50,10 @@ impl Statevector {
     /// normalized to within `1e-6`.
     pub fn from_amplitudes(amps: Vec<C64>) -> Self {
         let n = amps.len();
-        assert!(n.is_power_of_two(), "amplitude count must be a power of two");
+        assert!(
+            n.is_power_of_two(),
+            "amplitude count must be a power of two"
+        );
         let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum();
         assert!(
             (norm - 1.0).abs() < 1e-6,
@@ -111,9 +114,7 @@ impl Statevector {
             Gate::Swap(a, b) => self.apply_swap(a, b),
             g => {
                 let q = g.qubits()[0];
-                let m = g
-                    .matrix()
-                    .expect("single-qubit gates always have a matrix");
+                let m = g.matrix().expect("single-qubit gates always have a matrix");
                 self.apply_1q(q, m);
             }
         }
@@ -209,10 +210,7 @@ impl Statevector {
     pub fn marginal_probabilities(&self, qubits: &[usize]) -> Vec<f64> {
         for (i, &q) in qubits.iter().enumerate() {
             assert!(q < self.num_qubits, "qubit {q} out of range");
-            assert!(
-                !qubits[..i].contains(&q),
-                "qubit {q} repeated in marginal"
-            );
+            assert!(!qubits[..i].contains(&q), "qubit {q} repeated in marginal");
         }
         let mut out = vec![0.0; 1usize << qubits.len()];
         for (x, a) in self.amps.iter().enumerate() {
@@ -283,7 +281,10 @@ mod tests {
             }
             s.apply_gate(Gate::Cx(0, 1));
             let p = s.probabilities();
-            assert!((p[expected] - 1.0).abs() < 1e-12, "CX|{input:02b}⟩ ≠ |{expected:02b}⟩");
+            assert!(
+                (p[expected] - 1.0).abs() < 1e-12,
+                "CX|{input:02b}⟩ ≠ |{expected:02b}⟩"
+            );
         }
     }
 

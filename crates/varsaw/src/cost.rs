@@ -53,7 +53,10 @@ pub fn jigsaw_cost(q: usize, window: usize) -> f64 {
 /// Panics if `window == 0` or `k` is outside `[0, 1]`.
 pub fn varsaw_cost(q: usize, k: f64, window: usize) -> f64 {
     assert!(window > 0, "window size must be positive");
-    assert!((0.0..=1.0).contains(&k), "global fraction must lie in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&k),
+        "global fraction must lie in [0, 1]"
+    );
     k * pauli_terms(q) + varsaw_subsets(q, window)
 }
 
@@ -72,10 +75,7 @@ mod tests {
     fn jigsaw_is_about_q_times_traditional() {
         for q in [50, 100, 500, 1000] {
             let ratio = jigsaw_cost(q, 2) / traditional_cost(q);
-            assert!(
-                (ratio - (q as f64)).abs() < 2.0,
-                "ratio {ratio} at q={q}"
-            );
+            assert!((ratio - (q as f64)).abs() < 2.0, "ratio {ratio} at q={q}");
         }
     }
 

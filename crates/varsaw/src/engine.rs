@@ -307,7 +307,12 @@ impl EnergyEvaluator for VarSawEvaluator {
                 .collect()
         });
         let fresh: Option<Vec<Pmf>> = run_global.then(|| {
-            let bases: Vec<_> = self.grouped.groups().iter().map(|g| g.basis.clone()).collect();
+            let bases: Vec<_> = self
+                .grouped
+                .groups()
+                .iter()
+                .map(|g| g.basis.clone())
+                .collect();
             bases
                 .iter()
                 .enumerate()
@@ -498,7 +503,11 @@ mod tests {
         let subsets = vs.plan().stats().varsaw_subsets as u64;
         vs.evaluate(&params);
         let first = vs.circuits_executed();
-        assert_eq!(first, subsets + n_bases, "first eval runs subsets + globals");
+        assert_eq!(
+            first,
+            subsets + n_bases,
+            "first eval runs subsets + globals"
+        );
         vs.evaluate(&params);
         assert_eq!(
             vs.circuits_executed(),
@@ -516,7 +525,9 @@ mod tests {
             &h,
             ansatz(),
             2,
-            TemporalPolicy::Adaptive { initial_interval: 2 },
+            TemporalPolicy::Adaptive {
+                initial_interval: 2,
+            },
             SimExecutor::new(DeviceModel::mumbai_like(), 128, 4),
         );
         for _ in 0..12 {

@@ -36,8 +36,6 @@
 //! println!("energy: {:.4}", outcome.trace.converged_energy(0.2));
 //! ```
 
-#![warn(missing_docs)]
-
 pub mod cost;
 mod engine;
 mod run;
@@ -45,6 +43,8 @@ mod spatial;
 mod temporal;
 
 pub use engine::{JigsawEvaluator, VarSawEvaluator};
-pub use run::{percent_gap_recovered, run_method, run_method_with, Method, MethodOutcome, RunSetup};
+pub use run::{
+    percent_gap_recovered, run_method, run_method_with, Method, MethodOutcome, RunSetup,
+};
 pub use spatial::{SpatialPlan, SpatialStats, WindowCoverage};
 pub use temporal::{GlobalScheduler, TemporalPolicy};

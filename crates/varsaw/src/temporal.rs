@@ -198,7 +198,9 @@ mod tests {
 
     #[test]
     fn adaptive_interval_doubles_on_good_chained_results() {
-        let mut s = GlobalScheduler::new(TemporalPolicy::Adaptive { initial_interval: 2 });
+        let mut s = GlobalScheduler::new(TemporalPolicy::Adaptive {
+            initial_interval: 2,
+        });
         assert!(s.should_run_global());
         s.feedback(1.0, 0.9); // chained better → interval 4
         s.advance(true);
@@ -209,7 +211,9 @@ mod tests {
 
     #[test]
     fn adaptive_interval_halves_on_bad_chained_results() {
-        let mut s = GlobalScheduler::new(TemporalPolicy::Adaptive { initial_interval: 8 });
+        let mut s = GlobalScheduler::new(TemporalPolicy::Adaptive {
+            initial_interval: 8,
+        });
         s.feedback(1.0, 2.0);
         assert_eq!(s.interval(), 4);
         s.feedback(1.0, 2.0);
@@ -220,7 +224,9 @@ mod tests {
 
     #[test]
     fn adaptive_schedule_follows_interval() {
-        let mut s = GlobalScheduler::new(TemporalPolicy::Adaptive { initial_interval: 3 });
+        let mut s = GlobalScheduler::new(TemporalPolicy::Adaptive {
+            initial_interval: 3,
+        });
         let runs = drive(&mut s, 7);
         assert_eq!(runs, vec![true, false, false, true, false, false, true]);
         assert_eq!(s.globals_run(), 3);
@@ -236,6 +242,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "must be positive")]
     fn zero_adaptive_interval_rejected() {
-        GlobalScheduler::new(TemporalPolicy::Adaptive { initial_interval: 0 });
+        GlobalScheduler::new(TemporalPolicy::Adaptive {
+            initial_interval: 0,
+        });
     }
 }

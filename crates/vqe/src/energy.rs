@@ -94,8 +94,8 @@ impl GroupedHamiltonian {
         for (group, pmf) in self.groups.iter().zip(pmfs) {
             for &member in &group.members {
                 let term = &self.terms[member];
-                energy += term.coeff()
-                    * expectation_from_probs(term.string(), pmf.probs(), pmf.qubits());
+                energy +=
+                    term.coeff() * expectation_from_probs(term.string(), pmf.probs(), pmf.qubits());
             }
         }
         energy
@@ -121,10 +121,7 @@ mod tests {
     use qsim::Circuit;
 
     fn tfim() -> Hamiltonian {
-        Hamiltonian::from_pairs(
-            2,
-            &[(0.5, "II"), (-1.0, "ZZ"), (-0.5, "XI"), (-0.5, "IX")],
-        )
+        Hamiltonian::from_pairs(2, &[(0.5, "II"), (-1.0, "ZZ"), (-0.5, "XI"), (-0.5, "IX")])
     }
 
     #[test]

@@ -33,8 +33,6 @@
 //! assert!(trace.best_energy() < -1.0);
 //! ```
 
-#![warn(missing_docs)]
-
 mod ansatz;
 mod basis;
 mod energy;

@@ -56,11 +56,7 @@ impl ImFil {
 }
 
 impl Optimizer for ImFil {
-    fn step(
-        &mut self,
-        params: &mut [f64],
-        objective: &mut dyn FnMut(&[f64]) -> f64,
-    ) -> StepResult {
+    fn step(&mut self, params: &mut [f64], objective: &mut dyn FnMut(&[f64]) -> f64) -> StepResult {
         let n = params.len();
         let f0 = objective(params);
         let mut evals = 1;

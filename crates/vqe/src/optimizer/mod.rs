@@ -26,8 +26,7 @@ pub struct StepResult {
 /// finite-shot, noisy quantum execution.
 pub trait Optimizer {
     /// Performs one tuning iteration.
-    fn step(&mut self, params: &mut [f64], objective: &mut dyn FnMut(&[f64]) -> f64)
-        -> StepResult;
+    fn step(&mut self, params: &mut [f64], objective: &mut dyn FnMut(&[f64]) -> f64) -> StepResult;
 
     /// A short human-readable name ("spsa", "imfil").
     fn name(&self) -> &str;

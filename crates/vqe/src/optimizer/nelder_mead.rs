@@ -55,7 +55,10 @@ impl NelderMead {
             return 0;
         }
         let mut evals = 0;
-        let push = |s: &mut Vec<(Vec<f64>, f64)>, x: Vec<f64>, f: &mut dyn FnMut(&[f64]) -> f64, e: &mut usize| {
+        let push = |s: &mut Vec<(Vec<f64>, f64)>,
+                    x: Vec<f64>,
+                    f: &mut dyn FnMut(&[f64]) -> f64,
+                    e: &mut usize| {
             let y = f(&x);
             *e += 1;
             s.push((x, y));
@@ -76,11 +79,7 @@ impl NelderMead {
 }
 
 impl Optimizer for NelderMead {
-    fn step(
-        &mut self,
-        params: &mut [f64],
-        objective: &mut dyn FnMut(&[f64]) -> f64,
-    ) -> StepResult {
+    fn step(&mut self, params: &mut [f64], objective: &mut dyn FnMut(&[f64]) -> f64) -> StepResult {
         let dim = params.len();
         let mut evals = self.ensure_simplex(params, objective);
         self.sort();

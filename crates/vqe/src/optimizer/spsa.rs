@@ -85,11 +85,7 @@ impl Spsa {
 }
 
 impl Optimizer for Spsa {
-    fn step(
-        &mut self,
-        params: &mut [f64],
-        objective: &mut dyn FnMut(&[f64]) -> f64,
-    ) -> StepResult {
+    fn step(&mut self, params: &mut [f64], objective: &mut dyn FnMut(&[f64]) -> f64) -> StepResult {
         let k = self.k as f64;
         let ck = self.c / (k + 1.0).powf(self.gamma);
         let delta: Vec<f64> = (0..params.len())
@@ -151,9 +147,8 @@ mod tests {
         let mut noise = StdRng::seed_from_u64(7);
         let mut spsa = Spsa::new(2);
         let mut x = vec![1.0, 1.0];
-        let mut f = |x: &[f64]| {
-            x.iter().map(|v| v * v).sum::<f64>() + (noise.random::<f64>() - 0.5) * 0.05
-        };
+        let mut f =
+            |x: &[f64]| x.iter().map(|v| v * v).sum::<f64>() + (noise.random::<f64>() - 0.5) * 0.05;
         for _ in 0..400 {
             spsa.step(&mut x, &mut f);
         }
@@ -179,7 +174,9 @@ mod tests {
         let mut spsa = Spsa::new(4);
         let mut x = vec![1.0, -1.0];
         let before = x.clone();
-        spsa.step(&mut x, &mut |p| 1000.0 * p.iter().map(|v| v * v).sum::<f64>());
+        spsa.step(&mut x, &mut |p| {
+            1000.0 * p.iter().map(|v| v * v).sum::<f64>()
+        });
         let step_norm: f64 = x
             .iter()
             .zip(&before)

@@ -52,10 +52,14 @@ fn main() {
         .collect();
 
     let jigsaw = reconstruct(&global, &locals, ReconstructionConfig::default());
-    let mbm = mbm_correct(&global, &device.best_qubits(n)
-        .into_iter()
-        .map(|q| device.readout(q))
-        .collect::<Vec<_>>());
+    let mbm = mbm_correct(
+        &global,
+        &device
+            .best_qubits(n)
+            .into_iter()
+            .map(|q| device.readout(q))
+            .collect::<Vec<_>>(),
+    );
 
     println!("GHZ-{n} on {device}\n");
     println!("fidelity to ideal (higher is better):");

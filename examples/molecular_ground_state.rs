@@ -24,10 +24,16 @@ fn main() {
     let plan = SpatialPlan::new(&h, 2);
     let stats = plan.stats();
     println!("spatial plan (window 2):");
-    println!("  baseline circuits/iteration : {}", stats.baseline_circuits);
+    println!(
+        "  baseline circuits/iteration : {}",
+        stats.baseline_circuits
+    );
     println!("  jigsaw subsets/iteration    : {}", stats.jigsaw_subsets);
     println!("  varsaw subsets/iteration    : {}", stats.varsaw_subsets);
-    println!("  subset reduction            : {:.1}x\n", stats.reduction());
+    println!(
+        "  subset reduction            : {:.1}x\n",
+        stats.reduction()
+    );
 
     // A fixed circuit budget, as in Fig.13: every method gets the same
     // number of circuit executions.
@@ -48,12 +54,7 @@ fn main() {
             }),
         ),
     ] {
-        let setup = RunSetup::new(
-            h.clone(),
-            ansatz.clone(),
-            DeviceModel::mumbai_like(),
-            17,
-        );
+        let setup = RunSetup::new(h.clone(), ansatz.clone(), DeviceModel::mumbai_like(), 17);
         let out = run_method(&setup, method, &config);
         println!(
             "{label}  energy {:>9.4}   iterations {:>5}{}",

@@ -1,0 +1,137 @@
+//! A minimal, dependency-free stand-in for the parts of the `proptest`
+//! crate this workspace's property tests use.
+//!
+//! Provides the [`strategy::Strategy`] trait with `prop_map` /
+//! `prop_filter_map` combinators, range and tuple strategies,
+//! [`collection::vec`], [`sample::select`] / [`sample::subsequence`], and
+//! the [`proptest!`] / [`prop_oneof!`] / [`prop_assert!`] family of macros.
+//! Unlike the real crate it does not shrink failing inputs — it generates a
+//! fixed number of deterministic cases per property (seeded from the test
+//! name), which is what a reproduction CI needs: failures are perfectly
+//! reproducible from the test name alone.
+//!
+//! # Example
+//!
+//! ```
+//! use proptest::prelude::*;
+//!
+//! let strat = prop::collection::vec(0..10usize, 1..5);
+//! let mut runner = proptest::test_runner::TestRunner::deterministic("doc");
+//! let v = strat.generate(runner.rng());
+//! assert!(!v.is_empty() && v.len() < 5 && v.iter().all(|&x| x < 10));
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+
+pub mod collection;
+pub mod sample;
+
+/// Deterministic case-runner support used by the [`proptest!`] macro.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Number of cases generated per property.
+    pub const DEFAULT_CASES: u32 = 64;
+
+    /// Holds the RNG driving one property's cases.
+    pub struct TestRunner {
+        rng: StdRng,
+    }
+
+    impl TestRunner {
+        /// Build a runner whose stream is a pure function of `name`
+        /// (FNV-1a hashed), so every run of a property sees the same cases.
+        pub fn deterministic(name: &str) -> Self {
+            let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRunner {
+                rng: StdRng::seed_from_u64(h),
+            }
+        }
+
+        /// The underlying RNG, handed to [`crate::strategy::Strategy::generate`].
+        pub fn rng(&mut self) -> &mut StdRng {
+            &mut self.rng
+        }
+    }
+}
+
+/// The common imports for property tests, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{BoxedStrategy, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running [`test_runner::DEFAULT_CASES`] generated
+/// cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __runner =
+                    $crate::test_runner::TestRunner::deterministic(stringify!($name));
+                $(let $arg = $strat;)+
+                for __case in 0..$crate::test_runner::DEFAULT_CASES {
+                    $(let $arg = $crate::strategy::Strategy::generate(&$arg, __runner.rng());)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Assert a condition inside a property, reporting the failing expression.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Skip the current generated case when an assumption does not hold.
+/// Must appear directly inside the [`proptest!`] body (it `continue`s the
+/// case loop).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Choose uniformly between several strategies producing the same value
+/// type (boxed internally; no weights, which the workspace does not use).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($s)),+
+        ])
+    };
+}

@@ -1,0 +1,64 @@
+//! Sampling strategies, mirroring `proptest::sample`.
+
+use crate::strategy::{SizeRange, Strategy};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Strategy choosing one element of `items` uniformly.
+pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+    assert!(!items.is_empty(), "select requires a non-empty vector");
+    Select { items }
+}
+
+/// Strategy returned by [`select`].
+pub struct Select<T> {
+    items: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let i = rng.random_range(0..self.items.len());
+        self.items[i].clone()
+    }
+}
+
+/// Strategy choosing an order-preserving subsequence of `items` whose
+/// length is drawn from `size` (clamped to the number of items).
+pub fn subsequence<T: Clone>(items: Vec<T>, size: impl Into<SizeRange>) -> Subsequence<T> {
+    Subsequence {
+        items,
+        size: size.into(),
+    }
+}
+
+/// Strategy returned by [`subsequence`].
+pub struct Subsequence<T> {
+    items: Vec<T>,
+    size: SizeRange,
+}
+
+impl<T: Clone> Strategy for Subsequence<T> {
+    type Value = Vec<T>;
+    fn generate(&self, rng: &mut StdRng) -> Vec<T> {
+        let n = self.items.len();
+        let k = self.size.pick(rng).min(n);
+        // Floyd's algorithm for k distinct indices in [0, n), then emit the
+        // chosen items in their original order.
+        let mut chosen = vec![false; n];
+        for j in n - k..n {
+            let t = rng.random_range(0..=j);
+            if chosen[t] {
+                chosen[j] = true;
+            } else {
+                chosen[t] = true;
+            }
+        }
+        self.items
+            .iter()
+            .zip(&chosen)
+            .filter(|(_, &c)| c)
+            .map(|(x, _)| x.clone())
+            .collect()
+    }
+}

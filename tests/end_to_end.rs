@@ -73,7 +73,11 @@ fn varsaw_executes_fewer_circuits_per_iteration_than_jigsaw() {
         max_iterations: iters,
         max_circuits: None,
     };
-    let jig = run_method(&h2_setup(7, DeviceModel::mumbai_like()), Method::Jigsaw, &config);
+    let jig = run_method(
+        &h2_setup(7, DeviceModel::mumbai_like()),
+        Method::Jigsaw,
+        &config,
+    );
     let vs = run_method(
         &h2_setup(7, DeviceModel::mumbai_like()),
         Method::VarSaw(TemporalPolicy::OneShot),

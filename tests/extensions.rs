@@ -45,7 +45,11 @@ fn qaoa_hamiltonians_have_trivial_spatial_plans() {
     let h = maxcut_hamiltonian(8, &edges);
     let plan = SpatialPlan::new(&h, 2);
     let stats = plan.stats();
-    assert!(stats.varsaw_subsets <= 7, "Z-only subsets: {}", stats.varsaw_subsets);
+    assert!(
+        stats.varsaw_subsets <= 7,
+        "Z-only subsets: {}",
+        stats.varsaw_subsets
+    );
     assert!(stats.varsaw_subsets <= stats.jigsaw_subsets);
 }
 

@@ -69,7 +69,10 @@ fn fig8_scaling_relations() {
         let trad = cost::traditional_cost(q);
         let jig = cost::jigsaw_cost(q, 2);
         let vs = cost::varsaw_cost(q, 0.01, 2);
-        assert!(jig / trad > 0.9 * q as f64, "JigSaw ~Q× traditional at Q={q}");
+        assert!(
+            jig / trad > 0.9 * q as f64,
+            "JigSaw ~Q× traditional at Q={q}"
+        );
         assert!(vs < trad, "VarSaw(k=0.01) below traditional at Q={q}");
         assert!(jig / vs > q as f64, "VarSaw ≥Q× below JigSaw at Q={q}");
     }
