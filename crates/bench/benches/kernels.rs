@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use mitigation::{reconstruct, Pmf, ReconstructionConfig};
 use pauli::{group_by_cover, PauliString};
 use qnoise::{apply_readout_errors, ReadoutError};
-use qsim::{Circuit, Statevector};
+use qsim::{Circuit, Parallelism, Statevector};
 use rand::{rngs::StdRng, SeedableRng};
 use vqe::{EfficientSu2, Entanglement};
 
@@ -17,6 +17,8 @@ fn ansatz_circuit(n: usize) -> Circuit {
 }
 
 fn bench_statevector(c: &mut Criterion) {
+    // The canonical `efficient_su2_*` entries use the Auto dispatch —
+    // what every caller of `apply_circuit` gets.
     let mut g = c.benchmark_group("statevector");
     for n in [6usize, 8, 10, 12] {
         let circuit = ansatz_circuit(n);
@@ -24,6 +26,32 @@ fn bench_statevector(c: &mut Criterion) {
             b.iter(|| {
                 let mut st = Statevector::zero(n);
                 st.apply_circuit(&circuit);
+                std::hint::black_box(st.probabilities()[0])
+            })
+        });
+    }
+    // Serial-vs-parallel pairs at the sizes where Auto can go threaded,
+    // so speedup (or spawn overhead on starved machines) is measurable
+    // from one bench run. The parallel row pins `num_threads()` workers
+    // explicitly — on a single-core container it degrades to ~serial.
+    for n in [10usize, 12] {
+        let circuit = ansatz_circuit(n);
+        g.bench_function(format!("efficient_su2_{n}q_serial"), |b| {
+            b.iter(|| {
+                let mut st = Statevector::zero(n);
+                st.apply_circuit_with(&circuit, Parallelism::Serial);
+                std::hint::black_box(st.probabilities()[0])
+            })
+        });
+        // Stable id (no thread count embedded) so archived BENCH_*.json
+        // records match across runners; the worker count is reported on
+        // its own line instead.
+        let threads = parallel::num_threads();
+        println!("bench statevector/efficient_su2_{n}q_parallel uses {threads} thread(s)");
+        g.bench_function(format!("efficient_su2_{n}q_parallel"), |b| {
+            b.iter(|| {
+                let mut st = Statevector::zero(n);
+                st.apply_circuit_with(&circuit, Parallelism::Threads(threads));
                 std::hint::black_box(st.probabilities()[0])
             })
         });

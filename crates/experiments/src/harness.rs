@@ -1,5 +1,5 @@
-//! Shared experiment harness: workload construction, trial running and
-//! simple parallelism.
+//! Shared experiment harness: workload construction and trial running on
+//! the workspace's `parallel` utilities.
 
 use chem::{molecular_hamiltonian, MoleculeSpec};
 use qnoise::DeviceModel;
@@ -89,37 +89,12 @@ pub fn mean_converged(outcomes: &[MethodOutcome], tail: f64) -> f64 {
     sum / outcomes.len() as f64
 }
 
-/// Simple scoped-thread parallel map preserving input order.
-pub fn parallel_map<T: Sync, R: Send>(items: Vec<T>, f: impl Fn(&T) -> R + Sync) -> Vec<R> {
-    let n = items.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(n);
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    let slots: Vec<std::sync::Mutex<&mut Option<R>>> =
-        results.iter_mut().map(std::sync::Mutex::new).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let r = f(&items[i]);
-                **slots[i].lock().expect("slot lock") = Some(r);
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|r| r.expect("all slots filled"))
-        .collect()
-}
+// The scoped-thread parallel map this harness originally carried now
+// lives in the workspace-wide `parallel` crate (the statevector engine
+// shares its machinery); re-exported here so experiment modules keep
+// their import path. Worker count follows `parallel::num_threads`
+// (the `VARSAW_NUM_THREADS` environment variable).
+pub use parallel::parallel_map;
 
 /// The paper's default VarSaw temporal policy for experiments.
 pub fn adaptive() -> Method {

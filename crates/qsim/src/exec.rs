@@ -1,0 +1,469 @@
+//! Multi-threaded circuit execution over the dense amplitude array.
+//!
+//! # Threading model
+//!
+//! Gate kernels are data-parallel: every gate updates disjoint amplitude
+//! pairs that can be partitioned across threads. Spawning threads *per
+//! gate* would cost more than an entire 12-qubit circuit, so the engine
+//! parallelizes at **circuit scope**: [`run_threaded`] spawns `workers`
+//! scoped threads once, walks all gates inside them in lockstep, and joins
+//! at the end. Between gates that touch overlapping regions the workers
+//! cross a [`parallel::SpinBarrier`]; gates confined to each worker's own
+//! contiguous amplitude chunk need no synchronization at all (see below).
+//!
+//! Because the workspace denies `unsafe` code, workers cannot share
+//! `&mut [C64]` slices whose partition changes per gate. Instead the
+//! amplitudes are staged in a shared plane of [`AtomicU64`] bit patterns
+//! (`re`/`im` interleaved): relaxed atomic loads and stores of `f64` bits
+//! compile to plain moves on mainstream targets, every gate's write set is
+//! disjoint across workers by construction, and the barrier provides the
+//! acquire/release edges between gates.
+//!
+//! # Chunking strategy
+//!
+//! The amplitude array of length `2^n` is split into `workers` (a power of
+//! two) contiguous chunks of `2^c` amplitudes, so chunk membership is given
+//! by the top `n − c` bits of a basis index. A gate whose amplitude pairs
+//! differ only in bits below `c` is **chunk-local**: each worker updates
+//! its own chunk and, crucially, runs straight into the next local gate
+//! with no barrier. Gates pairing amplitudes across a high bit are
+//! **cross-chunk**: their pair space is partitioned evenly across workers
+//! by [`parallel::worker_range`], with a barrier before and after.
+//! Controlled gates are classified by where their *pairs* reach, not their
+//! controls — a CX with a high control but low target only swaps within
+//! chunks whose base index has the control bit set, so it stays local, and
+//! a CZ is diagonal and always local.
+//!
+//! # Bit-identical results
+//!
+//! Serial and threaded execution produce bit-identical amplitudes: each
+//! amplitude's new value is a pure elementwise function of its pair
+//! (`pair_update`, shared with the serial kernels), no reductions are
+//! reordered, and the partition only changes *which thread* computes a
+//! value, never the arithmetic. The cross-path property test in
+//! `tests/parallel_equiv.rs` asserts exact equality across qubit counts
+//! 1–12 and thread counts 1–8.
+
+use crate::circuit::Circuit;
+use crate::complex::C64;
+use crate::gate::Gate;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// How [`Statevector::apply_circuit_with`](crate::Statevector::apply_circuit_with)
+/// spreads gate kernels across threads.
+///
+/// # Examples
+///
+/// ```
+/// use qsim::{Circuit, Parallelism, Statevector};
+///
+/// let mut c = Circuit::new(3);
+/// c.h(0).cx(0, 1).cx(1, 2);
+/// let mut serial = Statevector::zero(3);
+/// serial.apply_circuit_with(&c, Parallelism::Serial);
+/// let mut threaded = Statevector::zero(3);
+/// threaded.apply_circuit_with(&c, Parallelism::Threads(4));
+/// // Same amplitudes, bit for bit.
+/// assert_eq!(serial.amplitudes(), threaded.amplitudes());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Parallelism {
+    /// Always run the serial kernels on the calling thread.
+    Serial,
+    /// Pick automatically: threaded with [`parallel::num_threads`] workers
+    /// when the state and circuit are large enough to amortize thread
+    /// spawns, serial otherwise. This is what
+    /// [`Statevector::apply_circuit`](crate::Statevector::apply_circuit)
+    /// uses.
+    Auto,
+    /// Request an explicit worker count. The engine rounds it down to a
+    /// power of two and caps it so every worker owns at least one
+    /// amplitude pair; a resulting count of one falls back to serial.
+    Threads(usize),
+}
+
+/// Smallest amplitude count for which [`Parallelism::Auto`] goes threaded.
+/// Below this (< 11 qubits) a whole circuit costs less than spawning.
+pub(crate) const AUTO_MIN_AMPS: usize = 1 << 11;
+
+/// Smallest gate count for which [`Parallelism::Auto`] goes threaded:
+/// spawn cost is amortized over the whole circuit, so very short circuits
+/// stay serial.
+pub(crate) const AUTO_MIN_GATES: usize = 8;
+
+/// Smallest per-worker chunk [`Parallelism::Auto`] will create. Explicit
+/// [`Parallelism::Threads`] requests may go lower (down to one pair per
+/// worker), which the equivalence tests exploit to cover tiny states.
+const AUTO_MIN_CHUNK: usize = 1 << 10;
+
+/// Hard cap on engine workers: per-gate barriers and per-call spawns stop
+/// paying for themselves beyond this, even on wide machines.
+pub(crate) const MAX_WORKERS: usize = 8;
+
+/// Rounds a worker request down to the largest power of two that keeps at
+/// least one amplitude pair per worker, capped at [`MAX_WORKERS`].
+/// Returns 1 (serial) when the request or the state is too small.
+pub(crate) fn clamp_workers(dim: usize, requested: usize) -> usize {
+    let cap = MAX_WORKERS.min(dim / 2).min(requested);
+    if cap < 2 {
+        1
+    } else {
+        // Largest power of two <= cap.
+        1 << (usize::BITS - 1 - cap.leading_zeros())
+    }
+}
+
+/// The worker count [`Parallelism::Auto`] selects for a state of `dim`
+/// amplitudes and a circuit of `gates` gates.
+pub(crate) fn auto_workers(dim: usize, gates: usize) -> usize {
+    if dim < AUTO_MIN_AMPS || gates < AUTO_MIN_GATES {
+        return 1;
+    }
+    clamp_workers(dim, parallel::num_threads().min(dim / AUTO_MIN_CHUNK))
+}
+
+/// New values of an amplitude pair under a single-qubit matrix. Shared by
+/// the serial and threaded kernels so both paths perform the exact same
+/// floating-point operations (bit-identical results).
+#[inline]
+pub(crate) fn pair_update(m: &[[C64; 2]; 2], a0: C64, a1: C64) -> (C64, C64) {
+    (m[0][0] * a0 + m[0][1] * a1, m[1][0] * a0 + m[1][1] * a1)
+}
+
+/// Spreads `p` over the bit positions of an index, leaving a zero at
+/// position `bit`: bits `0..bit` of `p` stay, bits `bit..` shift up one.
+/// Enumerates all indices whose `bit` is clear as `p` runs over `0..len/2`.
+#[inline]
+fn insert_zero_bit(p: usize, bit: usize) -> usize {
+    let low = p & ((1 << bit) - 1);
+    ((p >> bit) << (bit + 1)) | low
+}
+
+/// [`insert_zero_bit`] at two positions `lo < hi`: enumerates all indices
+/// with both bits clear as `p` runs over `0..len/4`.
+#[inline]
+fn insert_zero_bits(p: usize, lo: usize, hi: usize) -> usize {
+    insert_zero_bit(insert_zero_bit(p, lo), hi)
+}
+
+/// A gate resolved against a chunking: its kernel inputs plus whether its
+/// amplitude pairs stay inside one `2^chunk_bits`-amplitude chunk.
+struct Op {
+    kind: OpKind,
+    cross: bool,
+}
+
+enum OpKind {
+    OneQ {
+        q: usize,
+        m: [[C64; 2]; 2],
+    },
+    Cx {
+        control: usize,
+        target: usize,
+    },
+    /// Sorted qubits (CZ is symmetric).
+    Cz {
+        lo: usize,
+        hi: usize,
+    },
+    /// Sorted qubits (SWAP is symmetric).
+    Swap {
+        lo: usize,
+        hi: usize,
+    },
+}
+
+fn resolve(gate: Gate, chunk_bits: usize) -> Op {
+    match gate {
+        Gate::Cx(control, target) => Op {
+            // Pairs differ in the target bit only; a high control merely
+            // selects whole chunks.
+            cross: target >= chunk_bits,
+            kind: OpKind::Cx { control, target },
+        },
+        Gate::Cz(a, b) => Op {
+            // Diagonal: never pairs amplitudes at all.
+            cross: false,
+            kind: OpKind::Cz {
+                lo: a.min(b),
+                hi: a.max(b),
+            },
+        },
+        Gate::Swap(a, b) => Op {
+            cross: a.max(b) >= chunk_bits,
+            kind: OpKind::Swap {
+                lo: a.min(b),
+                hi: a.max(b),
+            },
+        },
+        g => {
+            let q = g.qubits()[0];
+            let m = g.matrix().expect("single-qubit gates always have a matrix");
+            Op {
+                cross: q >= chunk_bits,
+                kind: OpKind::OneQ { q, m },
+            }
+        }
+    }
+}
+
+/// The shared amplitude plane: `re`/`im` of amplitude `i` live at atomic
+/// words `2i` and `2i+1` as `f64` bit patterns. Relaxed ordering suffices
+/// because every gate's write set is disjoint across workers and the
+/// inter-gate barrier provides the acquire/release edges.
+struct SharedAmps<'a> {
+    bits: &'a [AtomicU64],
+}
+
+impl SharedAmps<'_> {
+    #[inline]
+    fn load(&self, i: usize) -> C64 {
+        C64::new(
+            f64::from_bits(self.bits[2 * i].load(Ordering::Relaxed)),
+            f64::from_bits(self.bits[2 * i + 1].load(Ordering::Relaxed)),
+        )
+    }
+
+    #[inline]
+    fn store(&self, i: usize, v: C64) {
+        self.bits[2 * i].store(v.re.to_bits(), Ordering::Relaxed);
+        self.bits[2 * i + 1].store(v.im.to_bits(), Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn swap(&self, i: usize, j: usize) {
+        let (a, b) = (self.load(i), self.load(j));
+        self.store(i, b);
+        self.store(j, a);
+    }
+
+    #[inline]
+    fn negate(&self, i: usize) {
+        let a = self.load(i);
+        self.store(i, -a);
+    }
+}
+
+/// Executes `circuit` over `amps` with `workers` scoped threads.
+///
+/// Caller guarantees: `workers` is a power of two, `2 <= workers <=
+/// amps.len() / 2`, and every gate qubit is in range for the state.
+pub(crate) fn run_threaded(amps: &mut [C64], circuit: &Circuit, workers: usize) {
+    let dim = amps.len();
+    debug_assert!(workers.is_power_of_two() && workers >= 2 && workers <= dim / 2);
+    let chunk = dim / workers;
+    let chunk_bits = chunk.trailing_zeros() as usize;
+
+    let ops: Vec<Op> = circuit
+        .gates()
+        .iter()
+        .map(|&g| resolve(g, chunk_bits))
+        .collect();
+
+    // Stage the amplitudes into the shared atomic plane.
+    let plane: Vec<AtomicU64> = amps
+        .iter()
+        .flat_map(|a| {
+            [
+                AtomicU64::new(a.re.to_bits()),
+                AtomicU64::new(a.im.to_bits()),
+            ]
+        })
+        .collect();
+    let shared = SharedAmps { bits: &plane };
+    let barrier = parallel::SpinBarrier::new(workers);
+
+    parallel::scope_workers(workers, |w| {
+        let base = w * chunk;
+        for (k, op) in ops.iter().enumerate() {
+            // A barrier is needed whenever ownership hands over: entering,
+            // leaving, or staying in cross-chunk partitioning. Runs of
+            // chunk-local gates synchronize nothing.
+            if k > 0 && (op.cross || ops[k - 1].cross) {
+                barrier.wait();
+            }
+            if op.cross {
+                apply_cross(&shared, &op.kind, dim, workers, w);
+            } else {
+                apply_local(&shared, &op.kind, base, chunk);
+            }
+        }
+    });
+
+    for (i, a) in amps.iter_mut().enumerate() {
+        *a = shared.load(i);
+    }
+}
+
+/// Applies a chunk-local op over this worker's own amplitudes
+/// `[base, base + chunk)`. All pair indices stay inside the chunk; qubits
+/// at or above the chunk boundary can only appear as control/phase
+/// conditions, which select whole chunks via `base`.
+fn apply_local(shared: &SharedAmps<'_>, kind: &OpKind, base: usize, chunk: usize) {
+    let chunk_bits = chunk.trailing_zeros() as usize;
+    match *kind {
+        OpKind::OneQ { q, m } => {
+            let mask = 1 << q;
+            for p in 0..chunk / 2 {
+                let i = base + insert_zero_bit(p, q);
+                let (a0, a1) = (shared.load(i), shared.load(i | mask));
+                let (b0, b1) = pair_update(&m, a0, a1);
+                shared.store(i, b0);
+                shared.store(i | mask, b1);
+            }
+        }
+        OpKind::Cx { control, target } => {
+            let tmask = 1 << target;
+            if control < chunk_bits {
+                let cmask = 1 << control;
+                let (lo, hi) = (control.min(target), control.max(target));
+                for p in 0..chunk / 4 {
+                    let i = (base + insert_zero_bits(p, lo, hi)) | cmask;
+                    shared.swap(i, i | tmask);
+                }
+            } else if base & (1 << control) != 0 {
+                // High control: this whole chunk is in the controlled
+                // subspace; apply X on the target within it.
+                for p in 0..chunk / 2 {
+                    let i = base + insert_zero_bit(p, target);
+                    shared.swap(i, i | tmask);
+                }
+            }
+        }
+        OpKind::Cz { lo, hi } => {
+            let (lomask, himask) = (1usize << lo, 1usize << hi);
+            if hi < chunk_bits {
+                for p in 0..chunk / 4 {
+                    shared.negate((base + insert_zero_bits(p, lo, hi)) | lomask | himask);
+                }
+            } else if lo < chunk_bits {
+                if base & himask != 0 {
+                    for p in 0..chunk / 2 {
+                        shared.negate((base + insert_zero_bit(p, lo)) | lomask);
+                    }
+                }
+            } else if base & lomask != 0 && base & himask != 0 {
+                for i in base..base + chunk {
+                    shared.negate(i);
+                }
+            }
+        }
+        OpKind::Swap { lo, hi } => {
+            let (lomask, himask) = (1usize << lo, 1usize << hi);
+            for p in 0..chunk / 4 {
+                let i0 = base + insert_zero_bits(p, lo, hi);
+                shared.swap(i0 | lomask, i0 | himask);
+            }
+        }
+    }
+}
+
+/// Applies a cross-chunk op over this worker's share of the gate's global
+/// pair space. The pair-index → amplitude-index expansion is injective, so
+/// worker shares never touch the same amplitude.
+fn apply_cross(shared: &SharedAmps<'_>, kind: &OpKind, dim: usize, workers: usize, w: usize) {
+    match *kind {
+        OpKind::OneQ { q, m } => {
+            let mask = 1 << q;
+            for p in parallel::worker_range(dim / 2, workers, w) {
+                let i = insert_zero_bit(p, q);
+                let (a0, a1) = (shared.load(i), shared.load(i | mask));
+                let (b0, b1) = pair_update(&m, a0, a1);
+                shared.store(i, b0);
+                shared.store(i | mask, b1);
+            }
+        }
+        OpKind::Cx { control, target } => {
+            let (cmask, tmask) = (1usize << control, 1usize << target);
+            let (lo, hi) = (control.min(target), control.max(target));
+            for p in parallel::worker_range(dim / 4, workers, w) {
+                let i = insert_zero_bits(p, lo, hi) | cmask;
+                shared.swap(i, i | tmask);
+            }
+        }
+        // CZ is diagonal and therefore always chunk-local.
+        OpKind::Cz { .. } => unreachable!("CZ never crosses chunks"),
+        OpKind::Swap { lo, hi } => {
+            let (lomask, himask) = (1usize << lo, 1usize << hi);
+            for p in parallel::worker_range(dim / 4, workers, w) {
+                let i0 = insert_zero_bits(p, lo, hi);
+                shared.swap(i0 | lomask, i0 | himask);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::Statevector;
+
+    #[test]
+    fn insert_zero_bit_enumerates_clear_bit_indices() {
+        // All 8 indices of a 16-element space with bit 2 clear, in order.
+        let got: Vec<usize> = (0..8).map(|p| insert_zero_bit(p, 2)).collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 8, 9, 10, 11]);
+        // Bit 0: the even indices.
+        let got: Vec<usize> = (0..8).map(|p| insert_zero_bit(p, 0)).collect();
+        assert_eq!(got, vec![0, 2, 4, 6, 8, 10, 12, 14]);
+    }
+
+    #[test]
+    fn insert_zero_bits_clears_both_positions() {
+        for p in 0..16 {
+            let i = insert_zero_bits(p, 1, 3);
+            assert_eq!(i & 0b1010, 0, "index {i:#b} has a set inserted bit");
+        }
+        // Injective over the pair space.
+        let mut seen: Vec<usize> = (0..16).map(|p| insert_zero_bits(p, 1, 3)).collect();
+        seen.dedup();
+        assert_eq!(seen.len(), 16);
+    }
+
+    #[test]
+    fn clamp_workers_rounds_down_to_power_of_two() {
+        assert_eq!(clamp_workers(4096, 1), 1);
+        assert_eq!(clamp_workers(4096, 2), 2);
+        assert_eq!(clamp_workers(4096, 3), 2);
+        assert_eq!(clamp_workers(4096, 6), 4);
+        assert_eq!(clamp_workers(4096, 8), 8);
+        assert_eq!(clamp_workers(4096, 100), 8, "hard cap");
+        assert_eq!(clamp_workers(4, 8), 2, "at most one pair per worker");
+        assert_eq!(clamp_workers(2, 8), 1, "too small to split");
+    }
+
+    #[test]
+    fn auto_stays_serial_for_small_states_and_short_circuits() {
+        assert_eq!(auto_workers(1 << 10, 100), 1, "state too small");
+        assert_eq!(auto_workers(1 << 12, 3), 1, "circuit too short");
+    }
+
+    #[test]
+    fn threaded_matches_serial_on_a_dense_circuit() {
+        // Touches every kernel: rotations on low and high qubits, CX in
+        // all control/target orientations, CZ and SWAP across the chunk
+        // boundary. With 4 workers on 5 qubits the chunk is 8 amplitudes
+        // (bits 0-2 local, 3-4 cross).
+        let n = 5;
+        let mut c = Circuit::new(n);
+        for q in 0..n {
+            c.ry(q, 0.3 + q as f64).rz(q, -0.7 * q as f64);
+        }
+        c.cx(0, 4).cx(4, 0).cx(1, 2).cz(0, 4).cz(1, 2).swap(0, 4);
+        c.swap(1, 2).h(4).x(3).cx(3, 1);
+
+        let mut serial = Statevector::zero(n);
+        serial.apply_circuit_serial(&c);
+        for workers in [2usize, 4, 8] {
+            let mut threaded = Statevector::zero(n);
+            let w = clamp_workers(threaded.amplitudes().len(), workers);
+            run_threaded(threaded.amplitudes_mut(), &c, w);
+            assert_eq!(
+                serial.amplitudes(),
+                threaded.amplitudes(),
+                "{workers} workers"
+            );
+        }
+    }
+}

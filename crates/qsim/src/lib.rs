@@ -9,7 +9,12 @@
 //!   hardware-efficient ansatz and measurement-basis changes,
 //! - [`Statevector`]: dense simulation with exact outcome probabilities and
 //!   marginals,
-//! - [`sample_counts`]: seeded shot sampling,
+//! - [`Parallelism`]: serial vs multi-threaded circuit execution — large
+//!   states run the gate kernels on scoped threads (bit-identical to the
+//!   serial path; worker count controlled by the `VARSAW_NUM_THREADS`
+//!   environment variable via [`parallel::num_threads`]),
+//! - [`sample_counts`] / [`sample_counts_many`]: seeded shot sampling,
+//!   serial and batched-parallel,
 //! - [`lowest_eigenvalue`]: matrix-free Lanczos for exact reference
 //!   energies.
 //!
@@ -33,6 +38,7 @@
 
 mod circuit;
 mod complex;
+mod exec;
 mod gate;
 mod linalg;
 mod qasm;
@@ -41,8 +47,9 @@ mod state;
 
 pub use circuit::Circuit;
 pub use complex::C64;
+pub use exec::Parallelism;
 pub use gate::Gate;
 pub use linalg::{lowest_eigenvalue, smallest_tridiagonal_eigenvalue, HermitianOp, LanczosResult};
 pub use qasm::to_qasm;
-pub use sampler::{sample_counts, sample_index};
+pub use sampler::{sample_counts, sample_counts_many, sample_index};
 pub use state::Statevector;

@@ -41,6 +41,47 @@ pub fn sample_index<R: Rng + ?Sized>(probs: &[f64], rng: &mut R) -> usize {
     draw(&cumulative(probs), rng)
 }
 
+/// Draws `shots` samples per seed from the distribution `probs`, one
+/// independent count vector per entry of `seeds`, computed on scoped
+/// threads.
+///
+/// The CDF is built once and shared; each seed drives its own
+/// `StdRng::seed_from_u64` stream, so the result for a given seed is
+/// identical to a serial [`sample_counts`] call with that freshly seeded
+/// RNG — batch parallelism never changes the counts. This is the
+/// shot-sampling entry point for executors running many independent
+/// trials or repeated measurements of the same prepared state.
+///
+/// # Panics
+///
+/// Same conditions as [`sample_counts`].
+///
+/// # Examples
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let probs = [0.25, 0.75];
+/// let batch = qsim::sample_counts_many(&probs, 100, &[7, 8]);
+/// let mut rng = StdRng::seed_from_u64(7);
+/// assert_eq!(batch[0], qsim::sample_counts(&probs, 100, &mut rng));
+/// assert_eq!(batch[1].iter().sum::<u64>(), 100);
+/// ```
+pub fn sample_counts_many(probs: &[f64], shots: u64, seeds: &[u64]) -> Vec<Vec<u64>> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let cdf = cumulative(probs);
+    parallel::parallel_map(seeds.to_vec(), |&seed| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut counts = vec![0u64; probs.len()];
+        for _ in 0..shots {
+            counts[draw(&cdf, &mut rng)] += 1;
+        }
+        counts
+    })
+}
+
 fn cumulative(probs: &[f64]) -> Vec<f64> {
     assert!(
         !probs.is_empty(),
@@ -112,6 +153,18 @@ mod tests {
         let a = sample_counts(&probs, 500, &mut StdRng::seed_from_u64(9));
         let b = sample_counts(&probs, 500, &mut StdRng::seed_from_u64(9));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn batch_sampling_matches_serial_per_seed() {
+        let probs = [0.1, 0.2, 0.3, 0.4];
+        let seeds: Vec<u64> = (0..12).collect();
+        let batch = sample_counts_many(&probs, 333, &seeds);
+        assert_eq!(batch.len(), seeds.len());
+        for (&seed, counts) in seeds.iter().zip(&batch) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            assert_eq!(counts, &sample_counts(&probs, 333, &mut rng), "seed {seed}");
+        }
     }
 
     #[test]

@@ -2,8 +2,14 @@
 
 use crate::circuit::Circuit;
 use crate::complex::C64;
+use crate::exec::{self, Parallelism};
 use crate::gate::Gate;
 use std::fmt;
+
+/// Smallest amplitude count for which [`Statevector::probabilities`]
+/// parallelizes. The per-element work is tiny, so only very large states
+/// amortize the thread spawns.
+const PROBS_PARALLEL_MIN_AMPS: usize = 1 << 16;
 
 /// A pure quantum state over `n` qubits, stored as 2ⁿ complex amplitudes.
 ///
@@ -120,37 +126,109 @@ impl Statevector {
         }
     }
 
-    /// Applies every gate of `circuit` in order.
+    /// Applies every gate of `circuit` in order, choosing serial or
+    /// multi-threaded execution automatically
+    /// ([`Parallelism::Auto`]) — see [`Statevector::apply_circuit_with`].
+    ///
+    /// Both execution paths produce **bit-identical** amplitudes, so the
+    /// choice never changes results, only wall-clock time.
     ///
     /// # Panics
     ///
     /// Panics if the circuit has more qubits than the state.
     pub fn apply_circuit(&mut self, circuit: &Circuit) {
+        self.apply_circuit_with(circuit, Parallelism::Auto);
+    }
+
+    /// Applies every gate of `circuit` in order on the calling thread,
+    /// regardless of state size or thread settings. This is the reference
+    /// path the threaded engine is tested against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit has more qubits than the state.
+    ///
+    /// ```
+    /// use qsim::{Circuit, Statevector};
+    /// let mut c = Circuit::new(2);
+    /// c.h(0).cx(0, 1);
+    /// let mut psi = Statevector::zero(2);
+    /// psi.apply_circuit_serial(&c);
+    /// assert!((psi.probabilities()[0b11] - 0.5).abs() < 1e-12);
+    /// ```
+    pub fn apply_circuit_serial(&mut self, circuit: &Circuit) {
+        self.check_circuit(circuit);
+        for &g in circuit.gates() {
+            self.apply_gate(g);
+        }
+    }
+
+    /// Applies every gate of `circuit` in order with an explicit
+    /// [`Parallelism`] choice.
+    ///
+    /// [`Parallelism::Threads`] requests are rounded down to a power of
+    /// two and capped so every worker owns at least one amplitude pair; a
+    /// resulting worker count of one runs the serial path. Serial and
+    /// threaded execution produce bit-identical amplitudes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit has more qubits than the state, or if
+    /// `Parallelism::Threads(0)` is requested.
+    ///
+    /// ```
+    /// use qsim::{Circuit, Parallelism, Statevector};
+    /// let mut c = Circuit::new(3);
+    /// c.h(0).cx(0, 1).cx(1, 2);
+    /// let mut a = Statevector::zero(3);
+    /// a.apply_circuit_with(&c, Parallelism::Threads(2));
+    /// let mut b = Statevector::zero(3);
+    /// b.apply_circuit_with(&c, Parallelism::Serial);
+    /// assert_eq!(a.amplitudes(), b.amplitudes());
+    /// ```
+    pub fn apply_circuit_with(&mut self, circuit: &Circuit, mode: Parallelism) {
+        self.check_circuit(circuit);
+        let workers = match mode {
+            Parallelism::Serial => 1,
+            Parallelism::Auto => exec::auto_workers(self.amps.len(), circuit.gate_count()),
+            Parallelism::Threads(n) => {
+                assert!(n > 0, "Parallelism::Threads needs at least one thread");
+                exec::clamp_workers(self.amps.len(), n)
+            }
+        };
+        if workers < 2 {
+            self.apply_circuit_serial(circuit);
+        } else {
+            exec::run_threaded(&mut self.amps, circuit, workers);
+        }
+    }
+
+    fn check_circuit(&self, circuit: &Circuit) {
         assert!(
             circuit.num_qubits() <= self.num_qubits,
             "circuit acts on {} qubits but state has {}",
             circuit.num_qubits(),
             self.num_qubits
         );
-        for &g in circuit.gates() {
-            self.apply_gate(g);
-        }
     }
 
     fn apply_1q(&mut self, q: usize, m: [[C64; 2]; 2]) {
         debug_assert!(q < self.num_qubits);
         let mask = 1usize << q;
         let dim = self.amps.len();
-        let mut i = 0;
-        while i < dim {
-            if i & mask == 0 {
+        // Walk 2^(q+1)-amplitude blocks; the first half of each block
+        // pairs elementwise with the second. Same arithmetic as the
+        // threaded kernel (`exec::pair_update`), so results are
+        // bit-identical.
+        let mut base = 0;
+        while base < dim {
+            for i in base..base + mask {
                 let j = i | mask;
-                let a0 = self.amps[i];
-                let a1 = self.amps[j];
-                self.amps[i] = m[0][0] * a0 + m[0][1] * a1;
-                self.amps[j] = m[1][0] * a0 + m[1][1] * a1;
+                let (b0, b1) = exec::pair_update(&m, self.amps[i], self.amps[j]);
+                self.amps[i] = b0;
+                self.amps[j] = b1;
             }
-            i += 1;
+            base += mask << 1;
         }
     }
 
@@ -188,8 +266,32 @@ impl Statevector {
 
     /// The full outcome distribution: `p[x] = |⟨x|ψ⟩|²` over all 2ⁿ
     /// bitstrings.
+    ///
+    /// Large states (≥ 2¹⁶ amplitudes) compute the elementwise squares on
+    /// [`parallel::num_threads`] scoped threads; being elementwise, the
+    /// parallel path is bit-identical to the serial one.
     pub fn probabilities(&self) -> Vec<f64> {
-        self.amps.iter().map(|a| a.norm_sqr()).collect()
+        let workers = if self.amps.len() >= PROBS_PARALLEL_MIN_AMPS {
+            parallel::num_threads().min(exec::MAX_WORKERS)
+        } else {
+            1
+        };
+        self.probabilities_with(workers)
+    }
+
+    fn probabilities_with(&self, workers: usize) -> Vec<f64> {
+        if workers < 2 {
+            return self.amps.iter().map(|a| a.norm_sqr()).collect();
+        }
+        let mut out = vec![0.0f64; self.amps.len()];
+        let amps = &self.amps;
+        parallel::for_each_chunk_mut(&mut out, workers, |w, chunk| {
+            let start = parallel::worker_range(amps.len(), workers, w).start;
+            for (k, o) in chunk.iter_mut().enumerate() {
+                *o = amps[start + k].norm_sqr();
+            }
+        });
+        out
     }
 
     /// The marginal outcome distribution over `qubits`, indexed compactly:
@@ -359,5 +461,34 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn from_amplitudes_checks_length() {
         Statevector::from_amplitudes(vec![C64::ONE, C64::ZERO, C64::ZERO]);
+    }
+
+    #[test]
+    fn chunked_probabilities_match_serial() {
+        let s = ghz(6);
+        for workers in [2usize, 3, 8] {
+            assert_eq!(s.probabilities_with(workers), s.probabilities_with(1));
+        }
+    }
+
+    #[test]
+    fn explicit_thread_modes_agree_with_serial() {
+        let mut c = Circuit::new(4);
+        c.h(0).cx(0, 1).ry(2, 0.4).cx(1, 3).cz(0, 3).swap(1, 2);
+        c.rz(3, -1.1).cx(3, 0);
+        let mut serial = Statevector::zero(4);
+        serial.apply_circuit_with(&c, Parallelism::Serial);
+        for t in 1..=8 {
+            let mut par = Statevector::zero(4);
+            par.apply_circuit_with(&c, Parallelism::Threads(t));
+            assert_eq!(serial.amplitudes(), par.amplitudes(), "{t} threads");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let mut s = Statevector::zero(2);
+        s.apply_circuit_with(&Circuit::new(2), Parallelism::Threads(0));
     }
 }

@@ -109,8 +109,7 @@ impl JigsawEvaluator {
 
 impl EnergyEvaluator for JigsawEvaluator {
     fn evaluate(&mut self, params: &[f64]) -> f64 {
-        let mut state = Statevector::zero(self.ansatz.num_qubits());
-        state.apply_circuit(&self.ansatz.circuit(params));
+        let state = self.executor.prepare(&self.ansatz.circuit(params));
         let groups: Vec<_> = self.grouped.groups().to_vec();
         let pmfs: Vec<Pmf> = groups
             .iter()
@@ -267,8 +266,7 @@ impl VarSawEvaluator {
 
 impl EnergyEvaluator for VarSawEvaluator {
     fn evaluate(&mut self, params: &[f64]) -> f64 {
-        let mut state = Statevector::zero(self.ansatz.num_qubits());
-        state.apply_circuit(&self.ansatz.circuit(params));
+        let state = self.executor.prepare(&self.ansatz.circuit(params));
 
         // 1. Measurement Subsets: the reduced groups, once each.
         let subset_bases: Vec<_> = self

@@ -4,7 +4,7 @@ use crate::basis::basis_rotation;
 use mitigation::Pmf;
 use pauli::PauliString;
 use qnoise::{apply_depolarizing, apply_readout_errors, DeviceModel, ReadoutError};
-use qsim::{Circuit, Statevector};
+use qsim::{Circuit, Parallelism, Statevector};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -48,6 +48,7 @@ pub struct SimExecutor {
     rng: StdRng,
     circuits_executed: u64,
     exact: bool,
+    parallelism: Parallelism,
 }
 
 impl SimExecutor {
@@ -64,6 +65,7 @@ impl SimExecutor {
             rng: StdRng::seed_from_u64(seed),
             circuits_executed: 0,
             exact: false,
+            parallelism: Parallelism::Auto,
         }
     }
 
@@ -77,7 +79,62 @@ impl SimExecutor {
             rng: StdRng::seed_from_u64(seed),
             circuits_executed: 0,
             exact: true,
+            parallelism: Parallelism::Auto,
         }
+    }
+
+    /// Sets how statevector simulation spreads gate kernels across
+    /// threads (default [`Parallelism::Auto`]).
+    ///
+    /// Serial and threaded simulation produce bit-identical amplitudes,
+    /// so this knob never changes results — use it to pin executors to
+    /// the serial path when many run concurrently (e.g. inside
+    /// `parallel_map`-style trial fan-outs) and thread oversubscription
+    /// would hurt.
+    ///
+    /// ```
+    /// use qnoise::DeviceModel;
+    /// use qsim::Parallelism;
+    /// use vqe::SimExecutor;
+    ///
+    /// let exec = SimExecutor::new(DeviceModel::noiseless(2), 128, 1)
+    ///     .with_parallelism(Parallelism::Serial);
+    /// assert_eq!(exec.parallelism(), Parallelism::Serial);
+    /// ```
+    pub fn with_parallelism(mut self, mode: Parallelism) -> Self {
+        self.parallelism = mode;
+        self
+    }
+
+    /// The statevector parallelism mode circuits are simulated with.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
+    }
+
+    /// Simulates `circuit` from `|0…0⟩` under this executor's
+    /// [`Parallelism`] mode, without measuring or metering cost — the
+    /// state-preparation step evaluators run before their measurement
+    /// circuits. Routing preparation through the executor keeps the
+    /// parallelism knob in charge of *every* statevector pass of an
+    /// evaluation, not just the basis rotations.
+    ///
+    /// ```
+    /// use qnoise::DeviceModel;
+    /// use qsim::{Circuit, Parallelism};
+    /// use vqe::SimExecutor;
+    ///
+    /// let exec = SimExecutor::new(DeviceModel::noiseless(2), 16, 1)
+    ///     .with_parallelism(Parallelism::Serial);
+    /// let mut c = Circuit::new(2);
+    /// c.h(0).cx(0, 1);
+    /// let state = exec.prepare(&c);
+    /// assert!((state.probabilities()[0b11] - 0.5).abs() < 1e-12);
+    /// assert_eq!(exec.circuits_executed(), 0); // preparation is not metered
+    /// ```
+    pub fn prepare(&self, circuit: &Circuit) -> Statevector {
+        let mut st = Statevector::zero(circuit.num_qubits());
+        st.apply_circuit_with(circuit, self.parallelism);
+        st
     }
 
     /// The device model.
@@ -132,7 +189,7 @@ impl SimExecutor {
             "cannot execute a measurement of the identity basis"
         );
         let mut st = state.clone();
-        st.apply_circuit(&basis_rotation(basis));
+        st.apply_circuit_with(&basis_rotation(basis), self.parallelism);
         self.finish(st.marginal_probabilities(&measured), measured)
     }
 
@@ -150,7 +207,7 @@ impl SimExecutor {
     /// is too small.
     pub fn run_prepared_all(&mut self, state: &Statevector, basis: &PauliString) -> Pmf {
         let mut st = state.clone();
-        st.apply_circuit(&basis_rotation(basis));
+        st.apply_circuit_with(&basis_rotation(basis), self.parallelism);
         let measured: Vec<usize> = (0..state.num_qubits()).collect();
         self.finish(st.marginal_probabilities(&measured), measured)
     }
@@ -164,7 +221,7 @@ impl SimExecutor {
     pub fn run_circuit(&mut self, circuit: &Circuit, measured: &[usize]) -> Pmf {
         assert!(!measured.is_empty(), "no qubits to measure");
         let mut st = Statevector::zero(circuit.num_qubits());
-        st.apply_circuit(circuit);
+        st.apply_circuit_with(circuit, self.parallelism);
         self.finish(st.marginal_probabilities(measured), measured.to_vec())
     }
 
@@ -283,6 +340,25 @@ mod tests {
             exec.run_prepared(&st, &ps("ZZ")).probs().to_vec()
         };
         assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn parallelism_mode_never_changes_results() {
+        // Statevector execution is bit-identical across modes, and the
+        // sampling RNG stream is untouched by the choice, so whole PMFs
+        // must match exactly.
+        let run = |mode: Parallelism| {
+            let mut exec =
+                SimExecutor::new(DeviceModel::mumbai_like(), 256, 11).with_parallelism(mode);
+            let mut c = Circuit::new(3);
+            c.h(0).cx(0, 1).cx(1, 2).ry(2, 0.7);
+            let mut st = Statevector::zero(3);
+            st.apply_circuit(&c);
+            exec.run_prepared(&st, &ps("ZXZ")).probs().to_vec()
+        };
+        let serial = run(Parallelism::Serial);
+        assert_eq!(serial, run(Parallelism::Auto));
+        assert_eq!(serial, run(Parallelism::Threads(4)));
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //!   (full/linear/circular/asymmetric entanglement, depth `p`),
 //! - [`basis_rotation`]: measurement-basis changes (Fig.5),
 //! - [`SimExecutor`]: noisy execution with best-qubit mapping, measurement
-//!   crosstalk and circuit-cost metering,
+//!   crosstalk, circuit-cost metering and a statevector [`Parallelism`]
+//!   knob,
 //! - [`GroupedHamiltonian`]: the baseline's commutation-grouped
 //!   measurement circuits and energy estimation,
 //! - [`Spsa`] / [`ImFil`]: the classical optimizers,
@@ -45,4 +46,5 @@ pub use basis::basis_rotation;
 pub use energy::GroupedHamiltonian;
 pub use executor::SimExecutor;
 pub use optimizer::{ImFil, NelderMead, Optimizer, Spsa, StepResult};
+pub use qsim::Parallelism;
 pub use runner::{run_vqe, BaselineEvaluator, EnergyEvaluator, VqeConfig, VqeTrace};

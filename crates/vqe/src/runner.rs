@@ -135,11 +135,10 @@ impl BaselineEvaluator {
         &self.grouped
     }
 
-    /// Prepares the ansatz state for `params`.
+    /// Prepares the ansatz state for `params`, under the executor's
+    /// [`Parallelism`](qsim::Parallelism) mode.
     pub fn prepare(&self, params: &[f64]) -> Statevector {
-        let mut st = Statevector::zero(self.ansatz.num_qubits());
-        st.apply_circuit(&self.ansatz.circuit(params));
-        st
+        self.executor.prepare(&self.ansatz.circuit(params))
     }
 }
 
