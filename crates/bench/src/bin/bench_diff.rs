@@ -1,0 +1,91 @@
+//! Cross-run benchmark regression check over `BENCH_*.json` artifacts.
+//!
+//! ```text
+//! bench_diff <previous.json> <current.json> [--max-ratio 2.0]
+//! ```
+//!
+//! Exits nonzero when any kernel present in both runs slowed its mean by
+//! more than the ratio threshold (see [`bench::compare_runs`] for the
+//! comparison rules). A missing *previous* file is not an error — the
+//! first CI run on a branch has no archived baseline — but a missing or
+//! unparsable *current* file is: that means the bench step itself broke.
+
+use bench::{compare_runs, parse_bench_json, BenchRecord};
+use std::process::ExitCode;
+
+fn load(path: &str) -> Result<Vec<BenchRecord>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_bench_json(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let mut paths = Vec::new();
+    let mut max_ratio = 2.0f64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--max-ratio" {
+            let v = it.next().ok_or("--max-ratio needs a value")?;
+            max_ratio = v
+                .parse()
+                .map_err(|e| format!("bad --max-ratio {v:?}: {e}"))?;
+        } else {
+            paths.push(arg.clone());
+        }
+    }
+    let [old_path, new_path] = paths.as_slice() else {
+        return Err("usage: bench_diff <previous.json> <current.json> [--max-ratio 2.0]".into());
+    };
+
+    if !std::path::Path::new(old_path).exists() {
+        println!("bench_diff: no previous artifact at {old_path}; nothing to compare (first run?)");
+        return Ok(ExitCode::SUCCESS);
+    }
+    let old = load(old_path)?;
+    let new = load(new_path)?;
+
+    let shared = new
+        .iter()
+        .filter(|n| old.iter().any(|o| o.id == n.id))
+        .count();
+    println!(
+        "bench_diff: {} current kernels, {shared} with a baseline, threshold {max_ratio:.2}x",
+        new.len()
+    );
+    for n in &new {
+        if let Some(o) = old.iter().find(|o| o.id == n.id) {
+            let ratio = n.mean_ns as f64 / o.mean_ns.max(1) as f64;
+            println!(
+                "  {:<50} {:>12} -> {:>12} ns  ({ratio:>5.2}x)",
+                n.id, o.mean_ns, n.mean_ns
+            );
+        }
+    }
+
+    let regressions = compare_runs(&old, &new, max_ratio);
+    if regressions.is_empty() {
+        println!("bench_diff: no kernel regressed past {max_ratio:.2}x");
+        return Ok(ExitCode::SUCCESS);
+    }
+    eprintln!(
+        "bench_diff: {} kernel(s) regressed past {max_ratio:.2}x:",
+        regressions.len()
+    );
+    for r in &regressions {
+        eprintln!(
+            "  {:<50} {:>12} -> {:>12} ns  ({:.2}x)",
+            r.id, r.old_mean_ns, r.new_mean_ns, r.ratio
+        );
+    }
+    Ok(ExitCode::FAILURE)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("bench_diff: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

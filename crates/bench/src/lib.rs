@@ -1,9 +1,15 @@
 //! Benchmark crate for the VarSaw reproduction. See `benches/kernels.rs`
-//! (computational kernels) and `benches/figures.rs` (one unit per paper
-//! table/figure). Run them with `cargo bench -p bench`.
+//! (computational kernels), `benches/figures.rs` (one unit per paper
+//! table/figure) and `benches/reconstruction.rs` (the Bayesian
+//! reconstruction engine). Run them with `cargo bench -p bench`.
 //!
-//! The library itself is empty — it exists so the bench targets have a
-//! package to hang off — but the harness they use is exercised here:
+//! Besides the bench targets, this library hosts the cross-run
+//! regression check CI uses on the archived `BENCH_*.json` artifacts:
+//! [`parse_bench_json`] reads the criterion shim's record format and
+//! [`compare_runs`] flags kernels whose mean regressed past a ratio
+//! threshold (see the `bench_diff` binary).
+//!
+//! The criterion harness itself is exercised here:
 //!
 //! ```
 //! use criterion::Criterion;
@@ -15,3 +21,276 @@
 //!     .measurement_time(Duration::from_millis(5));
 //! c.bench_function("doc/noop", |b| b.iter(|| std::hint::black_box(1 + 1)));
 //! ```
+
+/// One benchmark record from a `BENCH_*.json` artifact, as written by the
+/// criterion shim (`{"id", "mean_ns", "best_ns", "samples"}`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchRecord {
+    /// Benchmark id, e.g. `reconstruction/bayesian_8q_7windows`.
+    pub id: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: u128,
+    /// Best (minimum) sample in nanoseconds.
+    pub best_ns: u128,
+    /// Number of samples taken.
+    pub samples: u64,
+}
+
+/// A kernel whose mean regressed past the comparison threshold.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Regression {
+    /// Benchmark id present in both runs.
+    pub id: String,
+    /// Mean of the previous run, nanoseconds.
+    pub old_mean_ns: u128,
+    /// Mean of the current run, nanoseconds.
+    pub new_mean_ns: u128,
+    /// `new / old` slowdown ratio.
+    pub ratio: f64,
+}
+
+/// Parses a `BENCH_*.json` artifact.
+///
+/// This is a minimal hand-rolled reader for the flat record array the
+/// criterion shim writes (the workspace is offline — no serde). It
+/// tolerates whitespace and field order but not nested objects, which the
+/// shim never produces. Unknown fields are ignored; a record missing `id`
+/// or `mean_ns` is an error.
+pub fn parse_bench_json(text: &str) -> Result<Vec<BenchRecord>, String> {
+    let body = text.trim();
+    let body = body
+        .strip_prefix('[')
+        .and_then(|b| b.strip_suffix(']'))
+        .ok_or_else(|| "not a JSON array".to_string())?;
+    let mut records = Vec::new();
+    let mut rest = body;
+    while let Some(start) = rest.find('{') {
+        let end = object_end(&rest[start..])? + start;
+        let object = &rest[start + 1..end];
+        records.push(parse_record(object)?);
+        rest = &rest[end + 1..];
+    }
+    Ok(records)
+}
+
+/// The byte offset of the `}` closing the object `text` starts with,
+/// skipping braces inside quoted strings (bench ids may contain them).
+fn object_end(text: &str) -> Result<usize, String> {
+    debug_assert!(text.starts_with('{'));
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in text.char_indices() {
+        match c {
+            _ if escaped => escaped = false,
+            '\\' if in_string => escaped = true,
+            '"' => in_string = !in_string,
+            '}' if !in_string => return Ok(i),
+            _ => {}
+        }
+    }
+    Err("unterminated object".to_string())
+}
+
+/// Parses one `key: value` record body (the text between `{` and `}`).
+fn parse_record(object: &str) -> Result<BenchRecord, String> {
+    let mut id = None;
+    let mut mean_ns = None;
+    let mut best_ns = 0u128;
+    let mut samples = 0u64;
+    let mut rest = object;
+    while let Some(key_start) = rest.find('"') {
+        let key_end = rest[key_start + 1..]
+            .find('"')
+            .ok_or_else(|| "unterminated key".to_string())?
+            + key_start
+            + 1;
+        let key = &rest[key_start + 1..key_end];
+        let after = rest[key_end + 1..]
+            .trim_start()
+            .strip_prefix(':')
+            .ok_or_else(|| format!("missing ':' after key {key}"))?
+            .trim_start();
+        let (value, remaining) = take_value(after)?;
+        match key {
+            "id" => id = Some(value),
+            "mean_ns" => mean_ns = Some(parse_u128(&value, "mean_ns")?),
+            "best_ns" => best_ns = parse_u128(&value, "best_ns")?,
+            "samples" => samples = parse_u128(&value, "samples")? as u64,
+            _ => {}
+        }
+        rest = remaining;
+    }
+    Ok(BenchRecord {
+        id: id.ok_or_else(|| "record without id".to_string())?,
+        mean_ns: mean_ns.ok_or_else(|| "record without mean_ns".to_string())?,
+        best_ns,
+        samples,
+    })
+}
+
+/// Splits one JSON scalar (string or number) off the front of `rest`,
+/// unescaping strings the way the shim escapes them.
+fn take_value(rest: &str) -> Result<(String, &str), String> {
+    if let Some(body) = rest.strip_prefix('"') {
+        let mut value = String::new();
+        let mut chars = body.char_indices();
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    // The shim escapes control characters as \uXXXX.
+                    Some((u_at, 'u')) => {
+                        let hex = body
+                            .get(u_at + 1..u_at + 5)
+                            .ok_or_else(|| "truncated \\u escape".to_string())?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|e| format!("bad \\u escape {hex:?}: {e}"))?;
+                        value.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| format!("bad \\u codepoint {code:#x}"))?,
+                        );
+                        // Consume the four hex digits.
+                        for _ in 0..4 {
+                            chars.next();
+                        }
+                    }
+                    Some((_, escaped)) => value.push(escaped),
+                    None => return Err("dangling escape".to_string()),
+                },
+                '"' => return Ok((value, &body[i + 1..])),
+                c => value.push(c),
+            }
+        }
+        Err("unterminated string".to_string())
+    } else {
+        let end = rest
+            .find(|c: char| !c.is_ascii_digit())
+            .unwrap_or(rest.len());
+        if end == 0 {
+            return Err(format!("expected a value at: {rest:.20}"));
+        }
+        Ok((rest[..end].to_string(), &rest[end..]))
+    }
+}
+
+fn parse_u128(value: &str, field: &str) -> Result<u128, String> {
+    value
+        .parse()
+        .map_err(|e| format!("bad {field} value {value:?}: {e}"))
+}
+
+/// Compares two bench runs: every id present in both whose mean slowed
+/// down by more than `max_ratio` is a [`Regression`]. Ids present in only
+/// one run (added or removed benches) are never failures — CI runners are
+/// shared and noisy, so the threshold should be generous (the CI job uses
+/// 2.0).
+///
+/// Sub-microsecond kernels are skipped: at that scale scheduler jitter on
+/// a shared runner swamps any real signal.
+pub fn compare_runs(old: &[BenchRecord], new: &[BenchRecord], max_ratio: f64) -> Vec<Regression> {
+    const MIN_MEAN_NS: u128 = 1_000;
+    let mut regressions: Vec<Regression> = new
+        .iter()
+        .filter(|n| n.mean_ns >= MIN_MEAN_NS)
+        .filter_map(|n| {
+            let o = old.iter().find(|o| o.id == n.id)?;
+            let ratio = n.mean_ns as f64 / o.mean_ns.max(1) as f64;
+            (ratio > max_ratio).then(|| Regression {
+                id: n.id.clone(),
+                old_mean_ns: o.mean_ns,
+                new_mean_ns: n.mean_ns,
+                ratio,
+            })
+        })
+        .collect();
+    regressions.sort_by(|a, b| b.ratio.total_cmp(&a.ratio));
+    regressions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(id: &str, mean_ns: u128) -> BenchRecord {
+        BenchRecord {
+            id: id.to_string(),
+            mean_ns,
+            best_ns: mean_ns,
+            samples: 10,
+        }
+    }
+
+    #[test]
+    fn parses_shim_output_roundtrip() {
+        let text = r#"[
+  {"id":"statevector/efficient_su2_12q","mean_ns":788000,"best_ns":750000,"samples":10},
+  {"id":"reconstruction/bayesian_8q_7windows","mean_ns":8850,"best_ns":8800,"samples":10}
+]
+"#;
+        let records = parse_bench_json(text).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].id, "statevector/efficient_su2_12q");
+        assert_eq!(records[0].mean_ns, 788_000);
+        assert_eq!(records[1].best_ns, 8_800);
+        assert_eq!(records[1].samples, 10);
+    }
+
+    #[test]
+    fn parses_escaped_ids_and_empty_arrays() {
+        let records = parse_bench_json(r#"[{"id":"a\"b","mean_ns":5}]"#).unwrap();
+        assert_eq!(records[0].id, "a\"b");
+        assert_eq!(records[0].best_ns, 0, "missing fields default");
+        assert!(parse_bench_json("[\n]\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn parses_ids_with_braces_and_unicode_escapes() {
+        // Braces inside a quoted id must not end the object early, and
+        // \uXXXX control escapes (as the shim writes them) must decode.
+        let text = "[{\"id\":\"su2{12q}\",\"mean_ns\":7},\
+                    {\"id\":\"x\\u000ay\",\"mean_ns\":9,\"best_ns\":8,\"samples\":3}]";
+        let records = parse_bench_json(text).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].id, "su2{12q}");
+        assert_eq!(records[1].id, "x\ny");
+        assert_eq!(records[1].best_ns, 8);
+        assert!(parse_bench_json(r#"[{"id":"x\u00zz","mean_ns":1}]"#).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_bench_json("not json").is_err());
+        assert!(parse_bench_json(r#"[{"mean_ns":5}]"#).is_err(), "no id");
+        assert!(parse_bench_json(r#"[{"id":"x"}]"#).is_err(), "no mean");
+        assert!(parse_bench_json(r#"[{"id":"x","mean_ns":"q"}]"#).is_err());
+    }
+
+    #[test]
+    fn flags_only_large_regressions_on_shared_ids() {
+        let old = vec![record("a", 10_000), record("b", 10_000), record("gone", 99)];
+        let new = vec![
+            record("a", 25_000),        // 2.5x: regression
+            record("b", 19_000),        // 1.9x: within threshold
+            record("added", 1_000_000), // no baseline: ignored
+        ];
+        let regressions = compare_runs(&old, &new, 2.0);
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].id, "a");
+        assert!((regressions[0].ratio - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sub_microsecond_kernels_are_ignored() {
+        let old = vec![record("tiny", 50)];
+        let new = vec![record("tiny", 900)]; // 18x but still < 1µs
+        assert!(compare_runs(&old, &new, 2.0).is_empty());
+    }
+
+    #[test]
+    fn regressions_sorted_worst_first() {
+        let old = vec![record("a", 1_000), record("b", 1_000)];
+        let new = vec![record("a", 3_000), record("b", 9_000)];
+        let r = compare_runs(&old, &new, 2.0);
+        assert_eq!(r[0].id, "b");
+        assert_eq!(r[1].id, "a");
+    }
+}

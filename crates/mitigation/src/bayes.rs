@@ -11,19 +11,42 @@
 //! structure of the prior (the qubit-qubit correlations captured by the
 //! global run) is preserved. This is Bayesian updating with the local
 //! distributions as evidence.
+//!
+//! Where the prior runs out of support, the update is Bayes *conditioned
+//! on the support*: window outcomes whose prior marginal mass is at or
+//! below [`ReconstructionConfig::epsilon`] keep their mass exactly, and
+//! the local evidence is renormalized over the supported outcomes. A
+//! naive `local/(marginal+ε)` ratio would amplify near-zero prior mass by
+//! up to `local/ε` and fully resurrect it within a round or two; freezing
+//! the unsupported mass keeps it invariant across arbitrarily many
+//! rounds. An update whose evidence lands *entirely* on unsupported
+//! window outcomes is skipped as a whole (reweighting would annihilate
+//! all mass).
+//!
+//! The functions here are one-shot conveniences; the engine underneath,
+//! with its cached projection-key tables, preallocated scratch, and
+//! parallel sweeps, is [`Reconstructor`](crate::Reconstructor).
 
 use crate::pmf::Pmf;
+use crate::recon::Reconstructor;
+use parallel::Parallelism;
 
 /// Configuration for [`reconstruct`].
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ReconstructionConfig {
-    /// Additive smoothing applied to the local/marginal ratio, guarding the
-    /// division when the prior assigns (near-)zero mass to an observed
-    /// window outcome. JigSaw's reconstruction is statistical and tolerant
-    /// of small epsilon; `1e-9` is a good default.
+    /// Support threshold guarding the local/marginal ratio. Window
+    /// outcomes whose prior marginal mass is at or below `epsilon` keep
+    /// their mass exactly — the local evidence is renormalized over the
+    /// supported outcomes instead of dividing by a vanishing marginal,
+    /// which would amplify near-zero prior mass by up to `local/epsilon`
+    /// per round and resurrect it within a few sweeps. JigSaw's
+    /// reconstruction is statistical and tolerant of a small threshold;
+    /// `1e-9` is a good default.
     pub epsilon: f64,
     /// Number of sweeps over the local PMFs. JigSaw performs one; extra
-    /// rounds tighten the fixpoint at extra (classical) cost.
+    /// rounds tighten the fixpoint at extra (classical) cost, and
+    /// `rounds: 0` performs no update at all — [`reconstruct`] returns
+    /// the prior unchanged.
     pub rounds: usize,
 }
 
@@ -38,28 +61,26 @@ impl Default for ReconstructionConfig {
 
 /// Applies one Bayesian update of `global` by the evidence `local`.
 ///
+/// One-shot wrapper over [`Reconstructor::update`]; callers updating
+/// repeatedly with the same window geometry should hold a
+/// [`Reconstructor`] instead to reuse its cached projection-key tables.
+///
 /// # Panics
 ///
 /// Panics if some qubit of `local` is not measured by `global`.
 pub fn bayesian_update(global: &mut Pmf, local: &Pmf, epsilon: f64) {
-    let sub = local.qubits().to_vec();
-    let marg = global.marginal(&sub);
-    // Precompute the per-window-outcome ratio.
-    let ratios: Vec<f64> = (0..local.probs().len())
-        .map(|w| (local.prob(w) + epsilon) / (marg.prob(w) + epsilon))
-        .collect();
-    let keys: Vec<usize> = (0..global.probs().len())
-        .map(|x| global.project_outcome(x, &sub))
-        .collect();
-    let probs = global.probs_mut();
-    for (x, p) in probs.iter_mut().enumerate() {
-        *p *= ratios[keys[x]];
-    }
-    global.normalize();
+    Reconstructor::new()
+        .with_parallelism(Parallelism::Serial)
+        .update(global, local, epsilon);
 }
 
 /// JigSaw's full reconstruction: starts from the Global-PMF and applies the
 /// Bayesian update for every Local-PMF, returning the Output-PMF.
+///
+/// One-shot wrapper over [`Reconstructor::reconstruct`]; callers
+/// reconstructing repeatedly with the same window geometry (every VQE
+/// evaluator) should hold a [`Reconstructor`] instead to reuse its cached
+/// projection-key tables and scratch.
 ///
 /// # Panics
 ///
@@ -79,13 +100,7 @@ pub fn bayesian_update(global: &mut Pmf, local: &Pmf, epsilon: f64) {
 /// assert!(out.tvd(&global) < 1e-6);
 /// ```
 pub fn reconstruct(global: &Pmf, locals: &[Pmf], config: ReconstructionConfig) -> Pmf {
-    let mut out = global.clone();
-    for _ in 0..config.rounds.max(1) {
-        for local in locals {
-            bayesian_update(&mut out, local, config.epsilon);
-        }
-    }
-    out
+    Reconstructor::new().reconstruct(global, locals, config)
 }
 
 #[cfg(test)]
@@ -146,6 +161,24 @@ mod tests {
     }
 
     #[test]
+    fn zero_rounds_returns_prior_unchanged() {
+        // Regression: `rounds: 0` used to be silently promoted to one
+        // sweep. Zero rounds must perform zero updates.
+        let global = Pmf::new(vec![0, 1], vec![0.4, 0.1, 0.1, 0.4]);
+        let locals = vec![Pmf::new(vec![0], vec![0.9, 0.1])];
+        let out = reconstruct(
+            &global,
+            &locals,
+            ReconstructionConfig {
+                epsilon: 1e-9,
+                rounds: 0,
+            },
+        );
+        assert_eq!(out.probs(), global.probs());
+        assert_eq!(out.qubits(), global.qubits());
+    }
+
+    #[test]
     fn zero_prior_mass_is_not_resurrected() {
         // The global assigns zero to outcome 0b11 region; a local insisting
         // on q0=1 cannot move mass there beyond epsilon effects.
@@ -154,6 +187,27 @@ mod tests {
         bayesian_update(&mut global, &local, 1e-9);
         assert!(global.prob(0b01) < 1e-6);
         assert!(global.prob(0b11) < 1e-6);
+    }
+
+    #[test]
+    fn near_zero_prior_mass_is_not_resurrected_across_rounds() {
+        // Regression for the epsilon-ratio blowup: with the old
+        // `(local+ε)/(marg+ε)` update, a prior marginal of ~2e-12 was
+        // amplified by ~local/ε ≈ 8e8 in round one and fully resurrected
+        // to the local's 0.8 by round two. The support guard keeps it
+        // within normalization drift of zero across many rounds.
+        let global = Pmf::new(vec![0, 1], vec![0.5, 1e-12, 0.5, 1e-12]);
+        let local = Pmf::new(vec![0], vec![0.2, 0.8]);
+        let out = reconstruct(
+            &global,
+            &[local],
+            ReconstructionConfig {
+                epsilon: 1e-9,
+                rounds: 8,
+            },
+        );
+        let resurrected = out.marginal(&[0]).prob(1);
+        assert!(resurrected < 1e-6, "resurrected mass {resurrected}");
     }
 
     #[test]

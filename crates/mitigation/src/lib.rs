@@ -7,7 +7,10 @@
 //! - [`sliding_windows`] / [`JigsawPlan`]: JigSaw's Circuits with Partial
 //!   Measurement (Das et al., MICRO'21),
 //! - [`reconstruct`] / [`bayesian_update`]: JigSaw's Bayesian
-//!   reconstruction,
+//!   reconstruction, with [`Reconstructor`] as the reusable engine
+//!   underneath (cached projection-key tables, allocation-free fused
+//!   sweeps, optional parallel marginal reduction behind the shared
+//!   [`Parallelism`] seam),
 //! - [`mbm_correct`]: IBM-style matrix-based complete measurement
 //!   mitigation (combined with VarSaw in the paper's Section 6.8).
 //!
@@ -28,6 +31,7 @@ mod counts;
 mod jigsaw;
 mod mbm;
 mod pmf;
+mod recon;
 mod window;
 mod zne;
 
@@ -35,6 +39,8 @@ pub use bayes::{bayesian_update, reconstruct, ReconstructionConfig};
 pub use counts::Counts;
 pub use jigsaw::JigsawPlan;
 pub use mbm::mbm_correct;
+pub use parallel::Parallelism;
 pub use pmf::Pmf;
+pub use recon::Reconstructor;
 pub use window::{jigsaw_subset_count, sliding_windows};
 pub use zne::{richardson_extrapolate, zero_noise_extrapolate};

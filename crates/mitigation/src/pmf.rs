@@ -123,6 +123,22 @@ impl Pmf {
         key
     }
 
+    /// The bit positions of each qubit of `sub` within this PMF's outcome
+    /// indices — the projection [`project_outcome`](Pmf::project_outcome)
+    /// performs, resolved once instead of per outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some qubit of `sub` is not measured by this PMF.
+    pub fn projection_positions(&self, sub: &[usize]) -> Vec<usize> {
+        sub.iter()
+            .map(|&q| {
+                self.position_of(q)
+                    .unwrap_or_else(|| panic!("qubit {q} not in PMF"))
+            })
+            .collect()
+    }
+
     /// The marginal distribution over a subset of this PMF's qubits.
     ///
     /// # Panics
@@ -130,9 +146,16 @@ impl Pmf {
     /// Panics if some qubit of `sub` is not measured by this PMF or `sub`
     /// repeats a qubit.
     pub fn marginal(&self, sub: &[usize]) -> Pmf {
+        // Resolve the bit positions once; per-outcome `project_outcome`
+        // would rescan the qubit list for every one of the 2^n outcomes.
+        let positions = self.projection_positions(sub);
         let mut probs = vec![0.0; 1usize << sub.len()];
         for (x, &p) in self.probs.iter().enumerate() {
-            probs[self.project_outcome(x, sub)] += p;
+            let mut key = 0usize;
+            for (j, &pos) in positions.iter().enumerate() {
+                key |= ((x >> pos) & 1) << j;
+            }
+            probs[key] += p;
         }
         Pmf::new(sub.to_vec(), probs)
     }

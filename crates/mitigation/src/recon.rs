@@ -1,0 +1,582 @@
+//! The Bayesian-reconstruction engine: allocation-free, key-cached, and
+//! optionally parallel.
+//!
+//! [`reconstruct`](crate::reconstruct) is the second-hottest kernel in the
+//! workspace (`reconstruction/bayesian_8q_7windows`): both VQE evaluators
+//! re-run it per basis group per tuner iteration, yet the expensive parts
+//! of each update — resolving where every local qubit sits inside the
+//! global outcome index and projecting all `2^n` outcomes onto the window
+//! — depend only on the *(global-qubits, local-qubits)* geometry, which
+//! never changes across iterations. [`Reconstructor`] exploits that:
+//!
+//! - **Key caching.** The `2^n`-entry projection-key table of every
+//!   (global, local) signature is computed once and cached; later sweeps
+//!   reuse it with a cheap signature lookup.
+//! - **Fused, allocation-free sweeps.** Each Bayesian update is three
+//!   passes over the outcome array — marginal-accumulate, reweight (which
+//!   also accumulates the post-update mass), and a conditional normalize —
+//!   on preallocated scratch. No intermediate [`Pmf`]s, marginals, or
+//!   ratio vectors are constructed per call.
+//! - **Parallel marginal reduction.** For large globals the outcome range
+//!   is partitioned into fixed-size chunks; scoped workers (from
+//!   `crates/parallel`, behind the same [`Parallelism`] seam the
+//!   statevector engine uses) accumulate per-chunk partial marginal
+//!   histograms that are reduced in chunk order before the reweight pass.
+//!
+//! # Bit-identical results
+//!
+//! Serial, key-cached, and threaded execution produce bit-identical
+//! output PMFs: the chunk grid is a pure function of the problem shape
+//! (outcome count and window size), never of the worker count, so the
+//! floating-point reduction order is fixed and the partition only changes
+//! *which thread* computes a partial, never the arithmetic. For globals
+//! that fit in a single chunk (up to 12 qubits) the kernel is additionally
+//! bit-identical to a textbook sequential implementation; beyond that the
+//! chunk-ordered marginal reduction re-associates sums and agreement is
+//! within floating-point tolerance instead. The property tests in
+//! `tests/recon_equiv.rs` (mirroring `qsim/tests/parallel_equiv.rs`)
+//! assert exact equality across qubit counts, window sizes, rounds, and
+//! thread counts.
+//!
+//! Because the workspace denies `unsafe`, workers share the outcome array
+//! and scratch as planes of [`AtomicU64`] `f64` bit patterns — relaxed
+//! loads and stores compile to plain moves, every phase's write set is
+//! disjoint across workers by construction, and a
+//! [`parallel::SpinBarrier`] provides the ordering edges between phases.
+
+use crate::bayes::ReconstructionConfig;
+use crate::pmf::Pmf;
+use parallel::Parallelism;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Outcomes per partition chunk. Fixed (never derived from the worker
+/// count) so the chunk grid — and with it the floating-point reduction
+/// order — depends only on the problem shape, keeping serial and threaded
+/// sweeps bit-identical. Globals at or below this size run single-chunk,
+/// where the kernel matches a textbook sequential update bit for bit.
+const CHUNK_OUTCOMES: usize = 1 << 12;
+
+/// Smallest outcome count for which [`Parallelism::Auto`] goes threaded.
+/// Below this (< 15 qubits) a whole sweep costs less than spawning.
+const AUTO_MIN_OUTCOMES: usize = 1 << 15;
+
+/// A cached projection-key table: `keys[x]` is the window outcome that
+/// global outcome `x` projects to, for one (global, local) signature.
+#[derive(Clone, Debug)]
+struct KeyTable {
+    global: Vec<usize>,
+    local: Vec<usize>,
+    keys: Vec<u32>,
+}
+
+/// The number of chunks the outcome range splits into for a window of
+/// `k` outcomes: `dim / CHUNK_OUTCOMES`, capped so the per-chunk partial
+/// histograms never outweigh the outcome array itself (relevant only for
+/// windows spanning most of the register). All quantities are powers of
+/// two, so chunks always divide `dim` exactly.
+fn chunk_count(dim: usize, k: usize) -> usize {
+    (dim / CHUNK_OUTCOMES).max(1).min((dim / k).max(1))
+}
+
+#[inline]
+fn load(a: &AtomicU64) -> f64 {
+    f64::from_bits(a.load(Ordering::Relaxed))
+}
+
+#[inline]
+fn store(a: &AtomicU64, v: f64) {
+    a.store(v.to_bits(), Ordering::Relaxed);
+}
+
+/// Grows an atomic scratch buffer to at least `len` slots.
+fn ensure(buf: &mut Vec<AtomicU64>, len: usize) {
+    if buf.len() < len {
+        buf.resize_with(len, || AtomicU64::new(0));
+    }
+}
+
+/// A reusable Bayesian-reconstruction engine: the `2^n`-entry
+/// projection-key table of every (global-qubits, local-qubits) signature
+/// is computed once and cached, sweeps run as fused allocation-free
+/// passes over preallocated scratch (no intermediate [`Pmf`]s), and large
+/// globals reduce per-chunk partial marginal histograms on scoped worker
+/// threads behind the same [`Parallelism`] seam the statevector engine
+/// uses.
+///
+/// One `Reconstructor` should persist wherever reconstruction repeats
+/// with the same measurement geometry — `varsaw`'s evaluators keep one
+/// across all VQE iterations, so every sweep after the first runs with
+/// zero key-table construction and zero scratch allocation. The one-shot
+/// [`crate::reconstruct`] / [`crate::bayesian_update`] functions are thin
+/// wrappers over a temporary instance.
+///
+/// Serial, key-cached, and threaded sweeps are **bit-identical**: the
+/// chunk grid is a pure function of the problem shape (outcome count and
+/// window size), never of the worker count, so the floating-point
+/// reduction order is fixed and the partition only changes *which
+/// thread* computes a partial, never the arithmetic. See the
+/// "reconstruction hot path" section of `ARCHITECTURE.md` and the
+/// property tests in `tests/recon_equiv.rs`.
+///
+/// # Examples
+///
+/// ```
+/// use mitigation::{Pmf, Reconstructor, ReconstructionConfig};
+///
+/// let global = Pmf::new(vec![0, 1], vec![0.35, 0.15, 0.15, 0.35]);
+/// let local = Pmf::new(vec![0], vec![0.95, 0.05]);
+/// let mut engine = Reconstructor::new();
+/// let out = engine.reconstruct(&global, &[local], ReconstructionConfig::default());
+/// assert!(out.marginal(&[0]).prob(0) > 0.9);
+/// // The projection-key table is now cached for later iterations.
+/// assert_eq!(engine.cached_key_tables(), 1);
+/// ```
+#[derive(Debug)]
+pub struct Reconstructor {
+    parallelism: Parallelism,
+    tables: Vec<KeyTable>,
+    /// Table index per local of the sweep in progress (reused scratch).
+    order: Vec<usize>,
+    // Sweep scratch, shared across scoped workers as `f64` bit patterns.
+    plane: Vec<AtomicU64>,
+    partials: Vec<AtomicU64>,
+    marg: Vec<AtomicU64>,
+    ratio: Vec<AtomicU64>,
+    totals: Vec<AtomicU64>,
+    total: AtomicU64,
+    skip: AtomicU64,
+}
+
+impl Default for Reconstructor {
+    fn default() -> Self {
+        Reconstructor::new()
+    }
+}
+
+impl Clone for Reconstructor {
+    /// Clones the configuration and the cached key tables; sweep scratch
+    /// is transient and starts empty in the clone.
+    fn clone(&self) -> Self {
+        Reconstructor {
+            parallelism: self.parallelism,
+            tables: self.tables.clone(),
+            order: Vec::new(),
+            plane: Vec::new(),
+            partials: Vec::new(),
+            marg: Vec::new(),
+            ratio: Vec::new(),
+            totals: Vec::new(),
+            total: AtomicU64::new(0),
+            skip: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Reconstructor {
+    /// A fresh engine with no cached tables, dispatching
+    /// [`Parallelism::Auto`].
+    pub fn new() -> Self {
+        Reconstructor {
+            parallelism: Parallelism::Auto,
+            tables: Vec::new(),
+            order: Vec::new(),
+            plane: Vec::new(),
+            partials: Vec::new(),
+            marg: Vec::new(),
+            ratio: Vec::new(),
+            totals: Vec::new(),
+            total: AtomicU64::new(0),
+            skip: AtomicU64::new(0),
+        }
+    }
+
+    /// Sets how sweeps spread across threads (default
+    /// [`Parallelism::Auto`]: threaded from 2¹⁵ outcomes up). The choice
+    /// never changes results — all dispatch modes are bit-identical.
+    pub fn with_parallelism(mut self, mode: Parallelism) -> Self {
+        self.parallelism = mode;
+        self
+    }
+
+    /// The configured dispatch mode.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
+    }
+
+    /// How many (global, local) projection-key tables are cached.
+    pub fn cached_key_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Drops all cached key tables (e.g. after a workload change to a
+    /// disjoint set of measurement geometries).
+    pub fn clear_key_cache(&mut self) {
+        self.tables.clear();
+    }
+
+    /// JigSaw's full reconstruction: starts from the Global-PMF and
+    /// applies the Bayesian update for every Local-PMF, returning the
+    /// Output-PMF. Equivalent to [`crate::reconstruct`] but reusing this
+    /// engine's cached key tables and scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a local PMF measures a qubit the global does not.
+    pub fn reconstruct(
+        &mut self,
+        global: &Pmf,
+        locals: &[Pmf],
+        config: ReconstructionConfig,
+    ) -> Pmf {
+        let mut out = global.clone();
+        self.sweep(&mut out, locals, config);
+        out
+    }
+
+    /// Applies one Bayesian update of `global` by the evidence `local`,
+    /// in place. Equivalent to [`crate::bayesian_update`] but reusing
+    /// this engine's cached key tables and scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some qubit of `local` is not measured by `global`.
+    pub fn update(&mut self, global: &mut Pmf, local: &Pmf, epsilon: f64) {
+        self.sweep(
+            global,
+            std::slice::from_ref(local),
+            ReconstructionConfig { epsilon, rounds: 1 },
+        );
+    }
+
+    /// Runs `config.rounds` sweeps of Bayesian updates over `locals`,
+    /// mutating `output` in place. `rounds: 0` leaves it untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a local measures a qubit `output` does not, or a window
+    /// exceeds 32 qubits.
+    pub fn sweep(&mut self, output: &mut Pmf, locals: &[Pmf], config: ReconstructionConfig) {
+        if config.rounds == 0 || locals.is_empty() {
+            return;
+        }
+        let dim = output.probs().len();
+
+        // Resolve (and on first sight, build) every local's key table up
+        // front: cache insertion needs `&mut self`, while the worker
+        // scope below only shares `&self`-reachable state.
+        self.order.clear();
+        for local in locals {
+            let idx = self.table_index(output, local);
+            self.order.push(idx);
+        }
+
+        let k_max = locals
+            .iter()
+            .map(|l| l.probs().len())
+            .max()
+            .expect("nonempty");
+        let chunks_max = locals
+            .iter()
+            .map(|l| chunk_count(dim, l.probs().len()))
+            .max()
+            .expect("nonempty");
+        let partial_max = locals
+            .iter()
+            .map(|l| chunk_count(dim, l.probs().len()) * l.probs().len())
+            .max()
+            .expect("nonempty");
+        ensure(&mut self.plane, dim);
+        ensure(&mut self.marg, k_max);
+        ensure(&mut self.ratio, k_max);
+        ensure(&mut self.partials, partial_max);
+        ensure(&mut self.totals, chunks_max);
+
+        // Stage the outcome probabilities into the shared plane.
+        for (x, &p) in output.probs().iter().enumerate() {
+            store(&self.plane[x], p);
+        }
+
+        let workers = self.resolve_workers(dim);
+        let barrier = parallel::SpinBarrier::new(workers);
+        let tables = &self.tables;
+        let order = &self.order;
+        let plane = &self.plane;
+        let partials = &self.partials;
+        let marg = &self.marg;
+        let ratio = &self.ratio;
+        let totals = &self.totals;
+        let total = &self.total;
+        let skip = &self.skip;
+        let epsilon = config.epsilon;
+
+        parallel::scope_workers(workers, |w| {
+            for _ in 0..config.rounds {
+                for (li, local) in locals.iter().enumerate() {
+                    let keys = &tables[order[li]].keys[..dim];
+                    let lp = local.probs();
+                    let k = lp.len();
+                    let n_chunks = chunk_count(dim, k);
+                    let chunk_len = dim / n_chunks;
+                    // Workers beyond the chunk count get empty ranges and
+                    // only participate in the barriers.
+                    let my = parallel::worker_range(n_chunks, workers, w);
+
+                    // Phase A: per-chunk partial marginal histograms.
+                    for c in my.clone() {
+                        let part = &partials[c * k..(c + 1) * k];
+                        for slot in part {
+                            store(slot, 0.0);
+                        }
+                        for x in c * chunk_len..(c + 1) * chunk_len {
+                            let j = keys[x] as usize;
+                            store(&part[j], load(&part[j]) + load(&plane[x]));
+                        }
+                    }
+                    barrier.wait();
+
+                    if w == 0 {
+                        // Reduce the partials in fixed chunk order, then
+                        // compute the guarded ratios. The update is Bayes
+                        // conditioned on the prior's support: window
+                        // outcomes whose prior marginal is at or below
+                        // epsilon keep their mass *exactly* (ratio 1 with
+                        // the evidence renormalized around them), so
+                        // near-zero prior mass is neither amplified by up
+                        // to local/epsilon nor eroded by normalization
+                        // drift, however many rounds run. If the prior
+                        // supports no outcome carrying local evidence the
+                        // update is skipped — reweighting would
+                        // annihilate all mass.
+                        for j in 0..k {
+                            let mut s = 0.0;
+                            for c in 0..n_chunks {
+                                s += load(&partials[c * k + j]);
+                            }
+                            store(&marg[j], s);
+                        }
+                        // Unsupported prior mass (frozen) and the local
+                        // evidence mass on supported outcomes.
+                        let mut unsupported = 0.0;
+                        let mut supported_evidence = 0.0;
+                        for j in 0..k {
+                            let m = load(&marg[j]);
+                            if m > epsilon {
+                                supported_evidence += lp[j];
+                            } else {
+                                unsupported += m;
+                            }
+                        }
+                        if supported_evidence > 0.0 {
+                            let scale = (1.0 - unsupported) / supported_evidence;
+                            for j in 0..k {
+                                let m = load(&marg[j]);
+                                let r = if m > epsilon { lp[j] * scale / m } else { 1.0 };
+                                store(&ratio[j], r);
+                            }
+                        }
+                        skip.store(u64::from(supported_evidence <= 0.0), Ordering::Relaxed);
+                    }
+                    barrier.wait();
+                    // Every worker reads the same flag after the barrier,
+                    // so the remaining barrier sequence stays uniform.
+                    if skip.load(Ordering::Relaxed) != 0 {
+                        continue;
+                    }
+
+                    // Phase B: reweight, accumulating per-chunk masses.
+                    for c in my.clone() {
+                        let mut t = 0.0;
+                        for x in c * chunk_len..(c + 1) * chunk_len {
+                            let p = load(&plane[x]) * load(&ratio[keys[x] as usize]);
+                            store(&plane[x], p);
+                            t += p;
+                        }
+                        store(&totals[c], t);
+                    }
+                    barrier.wait();
+
+                    if w == 0 {
+                        let mut t = 0.0;
+                        for c in 0..n_chunks {
+                            t += load(&totals[c]);
+                        }
+                        store(total, t);
+                    }
+                    barrier.wait();
+
+                    // Phase C: normalize, mirroring `Pmf::normalize`'s
+                    // skip of already-unit mass. Every worker reads the
+                    // same total, so the branch stays uniform.
+                    let t = load(total);
+                    if (t - 1.0).abs() > 1e-15 {
+                        for c in my {
+                            for x in c * chunk_len..(c + 1) * chunk_len {
+                                store(&plane[x], load(&plane[x]) / t);
+                            }
+                        }
+                    }
+                    // Trailing barrier: consecutive locals can use
+                    // *different* chunk grids (window size caps the chunk
+                    // count), shifting worker boundaries in outcome space
+                    // — the next phase A may read plane entries this
+                    // update's phase C wrote on another worker.
+                    barrier.wait();
+                }
+            }
+        });
+
+        for (x, p) in output.probs_mut().iter_mut().enumerate() {
+            *p = load(&self.plane[x]);
+        }
+    }
+
+    /// The cached key-table index for the (global, local) signature,
+    /// building the table on first sight.
+    fn table_index(&mut self, global: &Pmf, local: &Pmf) -> usize {
+        if let Some(i) = self.tables.iter().position(|t| {
+            t.global.as_slice() == global.qubits() && t.local.as_slice() == local.qubits()
+        }) {
+            return i;
+        }
+        assert!(
+            local.num_qubits() <= 32,
+            "window of {} qubits exceeds the 32-qubit key width",
+            local.num_qubits()
+        );
+        let positions = global.projection_positions(local.qubits());
+        let keys = (0..global.probs().len())
+            .map(|x| {
+                let mut key = 0u32;
+                for (j, &pos) in positions.iter().enumerate() {
+                    key |= (((x >> pos) & 1) as u32) << j;
+                }
+                key
+            })
+            .collect();
+        self.tables.push(KeyTable {
+            global: global.qubits().to_vec(),
+            local: local.qubits().to_vec(),
+            keys,
+        });
+        self.tables.len() - 1
+    }
+
+    /// The worker count a sweep over `dim` outcomes uses.
+    fn resolve_workers(&self, dim: usize) -> usize {
+        let cap = (dim / CHUNK_OUTCOMES).max(1).min(parallel::MAX_THREADS);
+        match self.parallelism {
+            Parallelism::Serial => 1,
+            Parallelism::Threads(t) => t.clamp(1, cap),
+            Parallelism::Auto => {
+                if dim >= AUTO_MIN_OUTCOMES {
+                    parallel::num_threads().min(cap)
+                } else {
+                    1
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn global3() -> Pmf {
+        Pmf::new(
+            vec![0, 1, 2],
+            vec![0.2, 0.05, 0.1, 0.15, 0.05, 0.1, 0.15, 0.2],
+        )
+    }
+
+    #[test]
+    fn key_tables_cached_by_signature() {
+        let global = global3();
+        let locals = vec![global.marginal(&[0, 1]), global.marginal(&[1, 2])];
+        let mut r = Reconstructor::new();
+        r.reconstruct(&global, &locals, ReconstructionConfig::default());
+        assert_eq!(r.cached_key_tables(), 2);
+        // Same geometry: no new tables.
+        r.reconstruct(&global, &locals, ReconstructionConfig::default());
+        assert_eq!(r.cached_key_tables(), 2);
+        // A new window geometry adds exactly one.
+        r.reconstruct(
+            &global,
+            &[global.marginal(&[0, 2])],
+            ReconstructionConfig::default(),
+        );
+        assert_eq!(r.cached_key_tables(), 3);
+        r.clear_key_cache();
+        assert_eq!(r.cached_key_tables(), 0);
+    }
+
+    #[test]
+    fn cached_and_fresh_runs_are_bit_identical() {
+        let global = global3();
+        let locals = vec![
+            Pmf::new(vec![0, 1], vec![0.4, 0.3, 0.2, 0.1]),
+            Pmf::new(vec![1, 2], vec![0.1, 0.2, 0.3, 0.4]),
+        ];
+        let cfg = ReconstructionConfig::default();
+        let mut engine = Reconstructor::new();
+        let first = engine.reconstruct(&global, &locals, cfg);
+        let prekeyed = engine.reconstruct(&global, &locals, cfg);
+        let fresh = Reconstructor::new().reconstruct(&global, &locals, cfg);
+        assert_eq!(first.probs(), prekeyed.probs());
+        assert_eq!(first.probs(), fresh.probs());
+    }
+
+    #[test]
+    fn serial_and_threaded_agree_bitwise_on_small_inputs() {
+        let global = global3();
+        let locals = vec![Pmf::new(vec![0], vec![0.9, 0.1])];
+        let cfg = ReconstructionConfig::default();
+        let serial = Reconstructor::new()
+            .with_parallelism(Parallelism::Serial)
+            .reconstruct(&global, &locals, cfg);
+        for t in [2, 3, 8] {
+            let threaded = Reconstructor::new()
+                .with_parallelism(Parallelism::Threads(t))
+                .reconstruct(&global, &locals, cfg);
+            assert_eq!(serial.probs(), threaded.probs(), "{t} threads");
+        }
+    }
+
+    #[test]
+    fn incompatible_evidence_is_skipped() {
+        // The prior supports only q0=0; the local insists on q0=1. No
+        // supported window outcome carries evidence, so the update is a
+        // documented no-op instead of annihilating all mass.
+        let global = Pmf::new(vec![0, 1], vec![0.6, 0.0, 0.4, 0.0]);
+        let local = Pmf::new(vec![0], vec![0.0, 1.0]);
+        let out =
+            Reconstructor::new().reconstruct(&global, &[local], ReconstructionConfig::default());
+        assert_eq!(out.probs(), global.probs());
+    }
+
+    #[test]
+    fn chunk_grid_is_worker_independent() {
+        assert_eq!(chunk_count(1 << 10, 4), 1);
+        assert_eq!(chunk_count(1 << 12, 4), 1);
+        assert_eq!(chunk_count(1 << 13, 4), 2);
+        assert_eq!(chunk_count(1 << 16, 4), 16);
+        // Huge windows cap the grid so partials never outweigh the plane.
+        assert_eq!(chunk_count(1 << 16, 1 << 14), 4);
+        assert_eq!(chunk_count(1 << 16, 1 << 16), 1);
+    }
+
+    #[test]
+    fn clone_keeps_tables_but_not_scratch() {
+        let global = global3();
+        let mut r = Reconstructor::new();
+        r.reconstruct(
+            &global,
+            &[global.marginal(&[0, 1])],
+            ReconstructionConfig::default(),
+        );
+        let c = r.clone();
+        assert_eq!(c.cached_key_tables(), 1);
+        assert!(c.plane.is_empty());
+        assert_eq!(c.parallelism(), r.parallelism());
+    }
+}

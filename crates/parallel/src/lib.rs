@@ -38,6 +38,33 @@
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+/// How a parallel kernel spreads its work across threads.
+///
+/// This is the workspace-wide dispatch seam: the statevector engine
+/// (`qsim::Statevector::apply_circuit_with`, which re-exports this type)
+/// and the Bayesian-reconstruction engine (`mitigation::Reconstructor`)
+/// both take it, so one knob pins serial execution through a whole stack
+/// (e.g. when many executors already run under [`parallel_map`]).
+///
+/// Each engine interprets the variants against its own cost model:
+/// `Auto` goes threaded only above that engine's amortization threshold,
+/// and `Threads(n)` requests are clamped to whatever partition the engine
+/// can actually hand out. Engines guarantee that the choice never changes
+/// results — serial and threaded paths are bit-identical.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Parallelism {
+    /// Always run the serial kernels on the calling thread.
+    Serial,
+    /// Pick automatically: threaded with [`num_threads`] workers when the
+    /// work is large enough to amortize thread spawns, serial otherwise.
+    Auto,
+    /// Request an explicit worker count. Engines clamp the request (the
+    /// statevector engine rounds down to a power of two; the
+    /// reconstruction engine caps at its chunk count); a resulting count
+    /// of one falls back to serial.
+    Threads(usize),
+}
+
 /// Environment variable overriding the default worker count.
 pub const NUM_THREADS_ENV: &str = "VARSAW_NUM_THREADS";
 

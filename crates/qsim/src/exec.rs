@@ -52,6 +52,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// How [`Statevector::apply_circuit_with`](crate::Statevector::apply_circuit_with)
 /// spreads gate kernels across threads.
 ///
+/// The enum itself lives in [`parallel`] so the Bayesian-reconstruction
+/// engine in `mitigation` shares the exact same dispatch seam; this
+/// re-export keeps `qsim::Parallelism` working. The engine here rounds
+/// [`Parallelism::Threads`] requests down to a power of two and caps them
+/// so every worker owns at least one amplitude pair; a resulting count of
+/// one falls back to serial.
+///
 /// # Examples
 ///
 /// ```
@@ -66,21 +73,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// // Same amplitudes, bit for bit.
 /// assert_eq!(serial.amplitudes(), threaded.amplitudes());
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Parallelism {
-    /// Always run the serial kernels on the calling thread.
-    Serial,
-    /// Pick automatically: threaded with [`parallel::num_threads`] workers
-    /// when the state and circuit are large enough to amortize thread
-    /// spawns, serial otherwise. This is what
-    /// [`Statevector::apply_circuit`](crate::Statevector::apply_circuit)
-    /// uses.
-    Auto,
-    /// Request an explicit worker count. The engine rounds it down to a
-    /// power of two and caps it so every worker owns at least one
-    /// amplitude pair; a resulting count of one falls back to serial.
-    Threads(usize),
-}
+pub use parallel::Parallelism;
 
 /// Smallest amplitude count for which [`Parallelism::Auto`] goes threaded.
 /// Below this (< 11 qubits) a whole circuit costs less than spawning.

@@ -7,10 +7,69 @@
 
 use crate::spatial::SpatialPlan;
 use crate::temporal::{GlobalScheduler, TemporalPolicy};
-use mitigation::{mbm_correct, reconstruct, sliding_windows, Pmf, ReconstructionConfig};
+use mitigation::{mbm_correct, sliding_windows, Pmf, ReconstructionConfig, Reconstructor};
 use pauli::Hamiltonian;
 use qsim::Statevector;
 use vqe::{EfficientSu2, EnergyEvaluator, GroupedHamiltonian, SimExecutor};
+
+/// The execute-and-mitigate plumbing shared by [`JigsawEvaluator`] and
+/// [`VarSawEvaluator`]: runs subset/Global circuits (optionally
+/// MBM-corrected) and reconstructs through a persistent [`Reconstructor`]
+/// whose projection-key tables and scratch survive across VQE iterations
+/// — the measurement geometry of a Hamiltonian never changes between
+/// tuner steps, so every reconstruction after the first runs key-cached
+/// and allocation-free.
+#[derive(Clone, Debug)]
+struct MitigationPipeline {
+    executor: SimExecutor,
+    recon: ReconstructionConfig,
+    reconstructor: Reconstructor,
+    mbm: bool,
+}
+
+impl MitigationPipeline {
+    /// Wraps an executor; the reconstruction engine inherits the
+    /// executor's [`qsim::Parallelism`] choice so one knob pins the whole
+    /// evaluation stack (e.g. `Serial` under an outer `parallel_map`).
+    fn new(executor: SimExecutor) -> Self {
+        let reconstructor = Reconstructor::new().with_parallelism(executor.parallelism());
+        MitigationPipeline {
+            executor,
+            recon: ReconstructionConfig::default(),
+            reconstructor,
+            mbm: false,
+        }
+    }
+
+    /// Applies matrix-based mitigation when enabled.
+    fn correct(&mut self, pmf: Pmf) -> Pmf {
+        if self.mbm {
+            let cal = self.executor.calibration(pmf.num_qubits());
+            mbm_correct(&pmf, &cal)
+        } else {
+            pmf
+        }
+    }
+
+    /// Runs a subset circuit: only the subset's support is measured, on
+    /// the best physical qubits.
+    fn run_subset(&mut self, state: &Statevector, basis: &pauli::PauliString) -> Pmf {
+        let pmf = self.executor.run_prepared(state, basis);
+        self.correct(pmf)
+    }
+
+    /// Runs a Global circuit: the full register is measured (maximum
+    /// crosstalk), as in the original program execution.
+    fn run_global(&mut self, state: &Statevector, basis: &pauli::PauliString) -> Pmf {
+        let pmf = self.executor.run_prepared_all(state, basis);
+        self.correct(pmf)
+    }
+
+    /// Bayesian reconstruction through the persistent engine.
+    fn reconstruct(&mut self, global: &Pmf, locals: &[Pmf]) -> Pmf {
+        self.reconstructor.reconstruct(global, locals, self.recon)
+    }
+}
 
 /// JigSaw applied to VQA, application-agnostically (the paper's "JigSaw"
 /// comparison): every iteration, every basis circuit runs its Global *and*
@@ -21,9 +80,7 @@ pub struct JigsawEvaluator {
     ansatz: EfficientSu2,
     grouped: GroupedHamiltonian,
     window: usize,
-    executor: SimExecutor,
-    recon: ReconstructionConfig,
-    mbm: bool,
+    pipeline: MitigationPipeline,
 }
 
 impl JigsawEvaluator {
@@ -49,21 +106,19 @@ impl JigsawEvaluator {
             ansatz,
             grouped: GroupedHamiltonian::new(hamiltonian),
             window,
-            executor,
-            recon: ReconstructionConfig::default(),
-            mbm: false,
+            pipeline: MitigationPipeline::new(executor),
         }
     }
 
     /// Enables matrix-based mitigation on every measured PMF.
     pub fn with_mbm(mut self, enabled: bool) -> Self {
-        self.mbm = enabled;
+        self.pipeline.mbm = enabled;
         self
     }
 
     /// Overrides the reconstruction configuration.
     pub fn with_reconstruction(mut self, recon: ReconstructionConfig) -> Self {
-        self.recon = recon;
+        self.pipeline.recon = recon;
         self
     }
 
@@ -81,52 +136,30 @@ impl JigsawEvaluator {
     pub fn grouped(&self) -> &GroupedHamiltonian {
         &self.grouped
     }
-
-    /// Runs a subset circuit: only the subset's support is measured, on the
-    /// best physical qubits.
-    fn run_subset(&mut self, state: &Statevector, basis: &pauli::PauliString) -> Pmf {
-        let pmf = self.executor.run_prepared(state, basis);
-        if self.mbm {
-            let cal = self.executor.calibration(pmf.num_qubits());
-            mbm_correct(&pmf, &cal)
-        } else {
-            pmf
-        }
-    }
-
-    /// Runs a Global circuit: the full register is measured (maximum
-    /// crosstalk), as in the original program execution.
-    fn run_global(&mut self, state: &Statevector, basis: &pauli::PauliString) -> Pmf {
-        let pmf = self.executor.run_prepared_all(state, basis);
-        if self.mbm {
-            let cal = self.executor.calibration(pmf.num_qubits());
-            mbm_correct(&pmf, &cal)
-        } else {
-            pmf
-        }
-    }
 }
 
 impl EnergyEvaluator for JigsawEvaluator {
     fn evaluate(&mut self, params: &[f64]) -> f64 {
-        let state = self.executor.prepare(&self.ansatz.circuit(params));
-        let groups: Vec<_> = self.grouped.groups().to_vec();
-        let pmfs: Vec<Pmf> = groups
+        let state = self.pipeline.executor.prepare(&self.ansatz.circuit(params));
+        let pipeline = &mut self.pipeline;
+        let pmfs: Vec<Pmf> = self
+            .grouped
+            .groups()
             .iter()
             .map(|g| {
-                let global = self.run_global(&state, &g.basis);
+                let global = pipeline.run_global(&state, &g.basis);
                 let locals: Vec<Pmf> = sliding_windows(&g.basis, self.window)
                     .iter()
-                    .map(|s| self.run_subset(&state, s))
+                    .map(|s| pipeline.run_subset(&state, s))
                     .collect();
-                reconstruct(&global, &locals, self.recon)
+                pipeline.reconstruct(&global, &locals)
             })
             .collect();
         self.grouped.energy_from_pmfs(&pmfs)
     }
 
     fn circuits_executed(&self) -> u64 {
-        self.executor.circuits_executed()
+        self.pipeline.executor.circuits_executed()
     }
 }
 
@@ -148,11 +181,9 @@ pub struct VarSawEvaluator {
     ansatz: EfficientSu2,
     grouped: GroupedHamiltonian,
     plan: SpatialPlan,
-    executor: SimExecutor,
     scheduler: GlobalScheduler,
     priors: Vec<Option<Pmf>>,
-    recon: ReconstructionConfig,
-    mbm: bool,
+    pipeline: MitigationPipeline,
 }
 
 impl VarSawEvaluator {
@@ -206,23 +237,21 @@ impl VarSawEvaluator {
             ansatz,
             grouped,
             plan,
-            executor,
             scheduler: GlobalScheduler::new(temporal),
             priors: vec![None; n],
-            recon: ReconstructionConfig::default(),
-            mbm: false,
+            pipeline: MitigationPipeline::new(executor),
         }
     }
 
     /// Enables matrix-based mitigation on every measured PMF.
     pub fn with_mbm(mut self, enabled: bool) -> Self {
-        self.mbm = enabled;
+        self.pipeline.mbm = enabled;
         self
     }
 
     /// Overrides the reconstruction configuration.
     pub fn with_reconstruction(mut self, recon: ReconstructionConfig) -> Self {
-        self.recon = recon;
+        self.pipeline.recon = recon;
         self
     }
 
@@ -240,44 +269,19 @@ impl VarSawEvaluator {
     pub fn grouped(&self) -> &GroupedHamiltonian {
         &self.grouped
     }
-
-    /// Runs a subset circuit (support-only measurement, best qubits).
-    fn run_subset(&mut self, state: &Statevector, basis: &pauli::PauliString) -> Pmf {
-        let pmf = self.executor.run_prepared(state, basis);
-        if self.mbm {
-            let cal = self.executor.calibration(pmf.num_qubits());
-            mbm_correct(&pmf, &cal)
-        } else {
-            pmf
-        }
-    }
-
-    /// Runs a Global circuit (full-register measurement).
-    fn run_global(&mut self, state: &Statevector, basis: &pauli::PauliString) -> Pmf {
-        let pmf = self.executor.run_prepared_all(state, basis);
-        if self.mbm {
-            let cal = self.executor.calibration(pmf.num_qubits());
-            mbm_correct(&pmf, &cal)
-        } else {
-            pmf
-        }
-    }
 }
 
 impl EnergyEvaluator for VarSawEvaluator {
     fn evaluate(&mut self, params: &[f64]) -> f64 {
-        let state = self.executor.prepare(&self.ansatz.circuit(params));
+        let state = self.pipeline.executor.prepare(&self.ansatz.circuit(params));
+        let pipeline = &mut self.pipeline;
 
         // 1. Measurement Subsets: the reduced groups, once each.
-        let subset_bases: Vec<_> = self
+        let subset_pmfs: Vec<Pmf> = self
             .plan
             .subset_groups()
             .iter()
-            .map(|g| g.basis.clone())
-            .collect();
-        let subset_pmfs: Vec<Pmf> = subset_bases
-            .iter()
-            .map(|b| self.run_subset(&state, b))
+            .map(|g| pipeline.run_subset(&state, &g.basis))
             .collect();
 
         // Local PMFs per basis circuit, marginalized out of the groups.
@@ -297,26 +301,23 @@ impl EnergyEvaluator for VarSawEvaluator {
         let run_global = self.scheduler.should_run_global() || !have_priors;
 
         let chained: Option<Vec<Pmf>> = have_priors.then(|| {
-            (0..n_bases)
-                .map(|b| {
-                    let prior = self.priors[b].as_ref().expect("checked have_priors");
-                    reconstruct(prior, &locals[b], self.recon)
+            self.priors
+                .iter()
+                .enumerate()
+                .map(|(b, prior)| {
+                    let prior = prior.as_ref().expect("checked have_priors");
+                    pipeline.reconstruct(prior, &locals[b])
                 })
                 .collect()
         });
         let fresh: Option<Vec<Pmf>> = run_global.then(|| {
-            let bases: Vec<_> = self
-                .grouped
+            self.grouped
                 .groups()
                 .iter()
-                .map(|g| g.basis.clone())
-                .collect();
-            bases
-                .iter()
                 .enumerate()
-                .map(|(b, basis)| {
-                    let global = self.run_global(&state, basis);
-                    reconstruct(&global, &locals[b], self.recon)
+                .map(|(b, g)| {
+                    let global = pipeline.run_global(&state, &g.basis);
+                    pipeline.reconstruct(&global, &locals[b])
                 })
                 .collect()
         });
@@ -342,7 +343,7 @@ impl EnergyEvaluator for VarSawEvaluator {
     }
 
     fn circuits_executed(&self) -> u64 {
-        self.executor.circuits_executed()
+        self.pipeline.executor.circuits_executed()
     }
 }
 
