@@ -6,11 +6,15 @@
 //!
 //! Exits nonzero when any kernel present in both runs slowed its mean by
 //! more than the ratio threshold (see [`bench::compare_runs`] for the
-//! comparison rules). A missing *previous* file is not an error — the
-//! first CI run on a branch has no archived baseline — but a missing or
-//! unparsable *current* file is: that means the bench step itself broke.
+//! comparison rules). Benchmarks present in only one of the two artifacts
+//! are reported as *added* / *removed* and never fail the check — a new
+//! bench target's first CI run has no baseline, and a retired one should
+//! disappear loudly, not silently. A missing *previous* file is likewise
+//! not an error — the first CI run on a branch has no archived baseline —
+//! but a missing or unparsable *current* file is: that means the bench
+//! step itself broke.
 
-use bench::{compare_runs, parse_bench_json, BenchRecord};
+use bench::{compare_runs, diff_ids, parse_bench_json, BenchRecord};
 use std::process::ExitCode;
 
 fn load(path: &str) -> Result<Vec<BenchRecord>, String> {
@@ -59,6 +63,13 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 n.id, o.mean_ns, n.mean_ns
             );
         }
+    }
+    let (added, removed) = diff_ids(&old, &new);
+    for id in &added {
+        println!("  {id:<50} added (no baseline to compare)");
+    }
+    for id in &removed {
+        println!("  {id:<50} removed (present only in the baseline)");
     }
 
     let regressions = compare_runs(&old, &new, max_ratio);

@@ -178,6 +178,24 @@ fn parse_u128(value: &str, field: &str) -> Result<u128, String> {
         .map_err(|e| format!("bad {field} value {value:?}: {e}"))
 }
 
+/// Splits the ids of two runs into `(added, removed)`: ids only in the
+/// new run and ids only in the old one. Neither is a failure — new bench
+/// targets land without a baseline and retired ones disappear — but the
+/// diff report names them so a silently vanished kernel is noticed.
+pub fn diff_ids(old: &[BenchRecord], new: &[BenchRecord]) -> (Vec<String>, Vec<String>) {
+    let added = new
+        .iter()
+        .filter(|n| !old.iter().any(|o| o.id == n.id))
+        .map(|n| n.id.clone())
+        .collect();
+    let removed = old
+        .iter()
+        .filter(|o| !new.iter().any(|n| n.id == o.id))
+        .map(|o| o.id.clone())
+        .collect();
+    (added, removed)
+}
+
 /// Compares two bench runs: every id present in both whose mean slowed
 /// down by more than `max_ratio` is a [`Regression`]. Ids present in only
 /// one run (added or removed benches) are never failures — CI runners are
@@ -276,6 +294,17 @@ mod tests {
         assert_eq!(regressions.len(), 1);
         assert_eq!(regressions[0].id, "a");
         assert!((regressions[0].ratio - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diff_ids_reports_added_and_removed() {
+        let old = vec![record("a", 1), record("gone", 2)];
+        let new = vec![record("a", 1), record("fresh", 3)];
+        let (added, removed) = diff_ids(&old, &new);
+        assert_eq!(added, vec!["fresh".to_string()]);
+        assert_eq!(removed, vec!["gone".to_string()]);
+        let (added, removed) = diff_ids(&old, &old);
+        assert!(added.is_empty() && removed.is_empty());
     }
 
     #[test]

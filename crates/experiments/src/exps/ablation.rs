@@ -66,7 +66,7 @@ pub fn selective_mitigation(opts: &Options) {
         ]);
     }
     t.print();
-    t.write_csv(&results_path(
+    t.write_reports(&results_path(
         &opts.out_dir,
         "ablation",
         "selective_mitigation.csv",
@@ -126,7 +126,7 @@ pub fn spin_chains(opts: &Options) {
         ]);
     }
     t.print();
-    t.write_csv(&results_path(&opts.out_dir, "ablation", "spin_chains.csv"));
+    t.write_reports(&results_path(&opts.out_dir, "ablation", "spin_chains.csv"));
     println!("expected: positive mitigation — the extension workloads benefit like VQE does");
 }
 
@@ -184,7 +184,7 @@ pub fn grouping(opts: &Options) {
         ]);
     }
     t.print();
-    t.write_csv(&results_path(&opts.out_dir, "ablation", "grouping.csv"));
+    t.write_reports(&results_path(&opts.out_dir, "ablation", "grouping.csv"));
     println!("* union grouping of subsets can merge across windows, losing the small-subset");
     println!("  property — which is why VarSaw uses cover grouping (see ARCHITECTURE.md)");
 }

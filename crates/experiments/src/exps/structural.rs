@@ -64,7 +64,7 @@ pub fn fig6(opts: &Options) {
     t.row(["C_JigSaw", &stats.jigsaw_subsets.to_string(), "21"]);
     t.row(["C_VarSaw", &stats.varsaw_subsets.to_string(), "9"]);
     t.print();
-    t.write_csv(&results_path(&opts.out_dir, "fig6", "fig6.csv"));
+    t.write_reports(&results_path(&opts.out_dir, "fig6", "fig6.csv"));
 }
 
 /// Fig.7: cover-parent counts over the 27 three-qubit X/Z/I strings.
@@ -98,7 +98,7 @@ pub fn fig7(opts: &Options) {
     for (name, n) in &sorted {
         hist.row([name.clone(), n.to_string()]);
     }
-    hist.write_csv(&results_path(&opts.out_dir, "fig7", "fig7.csv"));
+    hist.write_reports(&results_path(&opts.out_dir, "fig7", "fig7.csv"));
     println!("(full 27-string histogram written to fig7.csv)");
 }
 
@@ -127,7 +127,7 @@ pub fn fig8(opts: &Options) {
         ]);
     }
     t.print();
-    t.write_csv(&results_path(&opts.out_dir, "fig8", "fig8.csv"));
+    t.write_reports(&results_path(&opts.out_dir, "fig8", "fig8.csv"));
     let q = 1000;
     println!(
         "shape check @Q=1000: jigsaw/traditional = {:.0}x (paper: ~O(Q)), varsaw(k=0.01)/traditional = {:.3}x (<1)",
@@ -163,7 +163,7 @@ pub fn table2_exp(opts: &Options) {
         ]);
     }
     t.print();
-    t.write_csv(&results_path(&opts.out_dir, "table2", "table2.csv"));
+    t.write_reports(&results_path(&opts.out_dir, "table2", "table2.csv"));
 }
 
 /// Fig.12: Pauli-term reduction in measurement subsets, all 13 molecules.
@@ -216,7 +216,7 @@ pub fn fig12(opts: &Options) {
         fmt(geo_mean(&reductions)),
     ]);
     t.print();
-    t.write_csv(&results_path(&opts.out_dir, "fig12", "fig12.csv"));
+    t.write_reports(&results_path(&opts.out_dir, "fig12", "fig12.csv"));
     println!(
         "paper shape: jigsaw mean ratio 5.5x (max 12.4 @Cr2); varsaw mean 0.2x; mean reduction ~25x, >1000x @Cr2"
     );

@@ -85,7 +85,7 @@ pub fn fig16(opts: &Options) {
         }
     }
     t.print();
-    t.write_csv(&results_path(&opts.out_dir, "fig16", "fig16_summary.csv"));
+    t.write_reports(&results_path(&opts.out_dir, "fig16", "fig16_summary.csv"));
     println!("reference (exact E0): {}", fmt(reference));
     println!(
         "paper shape: sparse VarSaw completes ~4x the iterations and reaches a better objective"
@@ -166,7 +166,7 @@ pub fn table3(opts: &Options) {
         t.row(row);
     }
     t.print();
-    t.write_csv(&results_path(&opts.out_dir, "table3", "table3.csv"));
+    t.write_reports(&results_path(&opts.out_dir, "table3", "table3.csv"));
     println!("paper shape: positive in all 12 cells (23–96%)");
 }
 
@@ -193,7 +193,7 @@ pub fn table4(opts: &Options) {
         t.row(row);
     }
     t.print();
-    t.write_csv(&results_path(&opts.out_dir, "table4", "table4.csv"));
+    t.write_reports(&results_path(&opts.out_dir, "table4", "table4.csv"));
     println!("paper shape: positive in 11 of 12 cells, shrinking at p = 8");
 }
 
@@ -229,7 +229,7 @@ pub fn fig17(opts: &Options) {
         ]);
     }
     t.print();
-    t.write_csv(&results_path(&opts.out_dir, "fig17", "fig17_summary.csv"));
+    t.write_reports(&results_path(&opts.out_dir, "fig17", "fig17_summary.csv"));
     println!("paper shape: sparsity converges lower by completing many more iterations");
 }
 
@@ -260,7 +260,7 @@ pub fn fig18(opts: &Options) {
         }
     }
     t.print();
-    t.write_csv(&results_path(&opts.out_dir, "fig18", "fig18_summary.csv"));
+    t.write_reports(&results_path(&opts.out_dir, "fig18", "fig18_summary.csv"));
     println!("paper shape: MBM on top helps ~10% for H2O, negligibly (but less noisily) for LiH");
 }
 
@@ -331,7 +331,7 @@ pub fn fig19(opts: &Options) {
         }
     }
     t.print();
-    t.write_csv(&results_path(&opts.out_dir, "fig19", "fig19.csv"));
+    t.write_reports(&results_path(&opts.out_dir, "fig19", "fig19.csv"));
     println!("paper shape: accuracy varies little with window size, but window 2 needs the");
     println!("             fewest subset circuits — so 2 is the clear choice");
 }
@@ -380,7 +380,7 @@ pub fn table5(opts: &Options) {
         t.row([format!("{scale}"), fmt(b), fmt(n), fmt(m)]);
     }
     t.print();
-    t.write_csv(&results_path(&opts.out_dir, "table5", "table5.csv"));
+    t.write_reports(&results_path(&opts.out_dir, "table5", "table5.csv"));
     println!(
         "paper shape: max-sparsity beats the baseline at every scale; measured: {wins}/{} scales",
         scales.len()

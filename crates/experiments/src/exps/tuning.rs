@@ -116,7 +116,7 @@ pub fn table1(opts: &Options) {
         ]);
     }
     t.print();
-    t.write_csv(&results_path(&opts.out_dir, "table1", "table1.csv"));
+    t.write_reports(&results_path(&opts.out_dir, "table1", "table1.csv"));
     println!(
         "paper shape: JigSaw recovers >70% of the measurement-error gap; measured mean: {:.0}%",
         recs.iter().sum::<f64>() / recs.len() as f64
@@ -160,7 +160,7 @@ pub(crate) fn write_series_pub(
         }
         t.row(row);
     }
-    t.write_csv(&results_path(&opts.out_dir, id, file));
+    t.write_reports(&results_path(&opts.out_dir, id, file));
 }
 
 /// Fig.9: Max-Sparsity vs No-Sparsity on CH4-6, noise-free and noisy, at a
@@ -210,7 +210,7 @@ pub fn fig9(opts: &Options) {
         }
     }
     t.print();
-    t.write_csv(&results_path(&opts.out_dir, "fig9", "fig9_summary.csv"));
+    t.write_reports(&results_path(&opts.out_dir, "fig9", "fig9_summary.csv"));
     println!("paper shape: noise-free → max-sparsity much worse; noisy → comparable-or-better,");
     println!("             and max-sparsity always completes more iterations");
 }
@@ -265,7 +265,7 @@ pub fn fig13(opts: &Options) {
         fmt(reference),
     ]);
     t.print();
-    t.write_csv(&results_path(&opts.out_dir, "fig13", "fig13_summary.csv"));
+    t.write_reports(&results_path(&opts.out_dir, "fig13", "fig13_summary.csv"));
     println!("paper shape: varsaw ≈ ideal; jigsaw completes a fraction of the iterations and");
     println!("             lands above the baseline under the same budget");
 }
@@ -359,7 +359,7 @@ pub fn fig14(opts: &Options) {
         format!("{mean_frac:.4}"),
     ]);
     t.print();
-    t.write_csv(&results_path(&opts.out_dir, "fig14", "fig14.csv"));
+    t.write_reports(&results_path(&opts.out_dir, "fig14", "fig14.csv"));
     println!(
         "paper shape: 13–86% mitigated (mean 45%), global fraction ~0.01; measured mean {:.0}%, fraction {:.3}",
         mean_pct, mean_frac
@@ -460,7 +460,7 @@ pub fn fig15(opts: &Options) {
         fmt(mean_pct),
     ]);
     t.print();
-    t.write_csv(&results_path(&opts.out_dir, "fig15", "fig15.csv"));
+    t.write_reports(&results_path(&opts.out_dir, "fig15", "fig15.csv"));
     println!(
         "paper shape: 21–92% mitigated over JigSaw (mean 55%), VarSaw runs ~10x the iterations; measured mean {:.0}%",
         mean_pct

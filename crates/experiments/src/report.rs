@@ -1,4 +1,10 @@
-//! Plain-text tables and CSV output for the experiment harnesses.
+//! Plain-text tables, CSV and JSON output for the experiment harnesses.
+//!
+//! The JSON emitter mirrors the `BENCH_*.json` record format the
+//! criterion shim writes and `bench_diff` consumes: a flat array of flat
+//! objects, one per table row, string values escaped the same way and
+//! numeric cells emitted as JSON numbers — so downstream tooling can diff
+//! experiment outputs with the same machinery it diffs kernel timings.
 
 use std::fs;
 use std::io::Write as _;
@@ -97,6 +103,81 @@ impl Table {
         }
         write_file(path, &text);
     }
+
+    /// Writes the table as a JSON array of records to `path`: one flat
+    /// object per row keyed by the column headers, in the style of the
+    /// `BENCH_*.json` artifacts (same string escaping; cells that parse
+    /// as finite numbers are emitted unquoted). Missing cells are
+    /// omitted; extra cells beyond the header are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be written.
+    pub fn write_json(&self, path: &Path) {
+        let mut records = Vec::with_capacity(self.rows.len());
+        for row in &self.rows {
+            let fields: Vec<String> = self
+                .header
+                .iter()
+                .zip(row)
+                .map(|(key, cell)| format!("{}:{}", json_string(key), json_value(cell)))
+                .collect();
+            records.push(format!("{{{}}}", fields.join(",")));
+        }
+        let body = if records.is_empty() {
+            "[\n]\n".to_string()
+        } else {
+            format!("[\n  {}\n]\n", records.join(",\n  "))
+        };
+        write_file(path, &body);
+    }
+
+    /// Writes both report artifacts for one experiment table: `path` as
+    /// CSV and its `.json` sibling as the record array of
+    /// [`Table::write_json`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if either file cannot be written.
+    pub fn write_reports(&self, path: &Path) {
+        self.write_csv(path);
+        self.write_json(&path.with_extension("json"));
+    }
+}
+
+/// Escapes a string the way the criterion shim does: backslash-escapes
+/// quotes and backslashes, `\uXXXX` for control characters.
+fn json_string(s: &str) -> String {
+    let escaped: String = s
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c if c.is_control() => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect();
+    format!("\"{escaped}\"")
+}
+
+/// A cell as a JSON value: unquoted when it is already a valid JSON
+/// number token (finite, and not relying on Rust-only spellings like
+/// `inf`, `1.` or `.5`), a string otherwise.
+fn json_value(cell: &str) -> String {
+    let looks_numeric = {
+        let digits = cell.strip_prefix('-').unwrap_or(cell);
+        !digits.is_empty()
+            && digits.chars().all(|c| c.is_ascii_digit() || c == '.')
+            && digits.chars().filter(|&c| c == '.').count() <= 1
+            && !digits.starts_with('.')
+            && !digits.ends_with('.')
+            // JSON forbids leading zeros ("007", "01.5").
+            && !(digits.len() > 1 && digits.starts_with('0') && !digits[1..].starts_with('.'))
+    };
+    if looks_numeric && cell.parse::<f64>().is_ok_and(f64::is_finite) {
+        cell.to_string()
+    } else {
+        json_string(cell)
+    }
 }
 
 /// Writes a text file, creating parent directories as needed.
@@ -152,6 +233,50 @@ mod tests {
         t.write_csv(&path);
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.starts_with("\"a,b\",c\n"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn json_records_mirror_the_bench_format() {
+        let mut t = Table::new(["id", "energy", "note"]);
+        t.row(["fig9/varsaw", "-1.25", "tail \"avg\""])
+            .row(["fig9/baseline", "0", "n/a"]);
+        let dir = std::env::temp_dir().join("varsaw-test-json");
+        let path = dir.join("t.json");
+        t.write_json(&path);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("[\n"));
+        assert!(text.contains(r#"{"id":"fig9/varsaw","energy":-1.25,"note":"tail \"avg\""}"#));
+        assert!(text.contains(r#"{"id":"fig9/baseline","energy":0,"note":"n/a"}"#));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn json_values_quote_non_numbers() {
+        assert_eq!(json_value("12.5"), "12.5");
+        assert_eq!(json_value("-3"), "-3");
+        assert_eq!(json_value("1.2.3"), "\"1.2.3\"");
+        assert_eq!(json_value("inf"), "\"inf\"");
+        assert_eq!(json_value("NaN"), "\"NaN\"");
+        assert_eq!(json_value(".5"), "\".5\"");
+        assert_eq!(json_value("5."), "\"5.\"");
+        assert_eq!(json_value(""), "\"\"");
+        // JSON rejects leading zeros; such cells must stay strings.
+        assert_eq!(json_value("007"), "\"007\"");
+        assert_eq!(json_value("-01.5"), "\"-01.5\"");
+        assert_eq!(json_value("0"), "0");
+        assert_eq!(json_value("0.25"), "0.25");
+        assert_eq!(json_value("-0.5"), "-0.5");
+    }
+
+    #[test]
+    fn write_reports_emits_csv_and_json_siblings() {
+        let mut t = Table::new(["k", "v"]);
+        t.row(["a", "1"]);
+        let dir = std::env::temp_dir().join("varsaw-test-reports");
+        t.write_reports(&dir.join("r.csv"));
+        assert!(dir.join("r.csv").exists());
+        assert!(dir.join("r.json").exists());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -44,9 +44,8 @@
 //! `tests/parallel_equiv.rs` asserts exact equality across qubit counts
 //! 1–12 and thread counts 1–8.
 
-use crate::circuit::Circuit;
 use crate::complex::C64;
-use crate::gate::Gate;
+use crate::plan::PlanOp;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// How [`Statevector::apply_circuit_with`](crate::Statevector::apply_circuit_with)
@@ -79,10 +78,12 @@ pub use parallel::Parallelism;
 /// Below this (< 11 qubits) a whole circuit costs less than spawning.
 pub(crate) const AUTO_MIN_AMPS: usize = 1 << 11;
 
-/// Smallest gate count for which [`Parallelism::Auto`] goes threaded:
-/// spawn cost is amortized over the whole circuit, so very short circuits
-/// stay serial.
-pub(crate) const AUTO_MIN_GATES: usize = 8;
+/// Smallest plan op count for which [`Parallelism::Auto`] goes threaded:
+/// spawn cost is amortized over the whole circuit, so very short plans
+/// stay serial. Measured on the compiled plan's *post-fusion* sweep count
+/// (see [`crate::CircuitPlan::op_count`] and [`crate::Circuit::stats`]),
+/// not the raw gate count.
+pub(crate) const AUTO_MIN_OPS: usize = 8;
 
 /// Smallest per-worker chunk [`Parallelism::Auto`] will create. Explicit
 /// [`Parallelism::Threads`] requests may go lower (down to one pair per
@@ -107,9 +108,9 @@ pub(crate) fn clamp_workers(dim: usize, requested: usize) -> usize {
 }
 
 /// The worker count [`Parallelism::Auto`] selects for a state of `dim`
-/// amplitudes and a circuit of `gates` gates.
-pub(crate) fn auto_workers(dim: usize, gates: usize) -> usize {
-    if dim < AUTO_MIN_AMPS || gates < AUTO_MIN_GATES {
+/// amplitudes and a compiled plan of `ops` full-state sweeps.
+pub(crate) fn auto_workers(dim: usize, ops: usize) -> usize {
+    if dim < AUTO_MIN_AMPS || ops < AUTO_MIN_OPS {
         return 1;
     }
     clamp_workers(dim, parallel::num_threads().min(dim / AUTO_MIN_CHUNK))
@@ -126,8 +127,10 @@ pub(crate) fn pair_update(m: &[[C64; 2]; 2], a0: C64, a1: C64) -> (C64, C64) {
 /// Spreads `p` over the bit positions of an index, leaving a zero at
 /// position `bit`: bits `0..bit` of `p` stay, bits `bit..` shift up one.
 /// Enumerates all indices whose `bit` is clear as `p` runs over `0..len/2`.
+/// Shared with the serial plan kernels in `state.rs`, so both paths
+/// enumerate the exact same amplitude pairs.
 #[inline]
-fn insert_zero_bit(p: usize, bit: usize) -> usize {
+pub(crate) fn insert_zero_bit(p: usize, bit: usize) -> usize {
     let low = p & ((1 << bit) - 1);
     ((p >> bit) << (bit + 1)) | low
 }
@@ -135,69 +138,21 @@ fn insert_zero_bit(p: usize, bit: usize) -> usize {
 /// [`insert_zero_bit`] at two positions `lo < hi`: enumerates all indices
 /// with both bits clear as `p` runs over `0..len/4`.
 #[inline]
-fn insert_zero_bits(p: usize, lo: usize, hi: usize) -> usize {
+pub(crate) fn insert_zero_bits(p: usize, lo: usize, hi: usize) -> usize {
     insert_zero_bit(insert_zero_bit(p, lo), hi)
 }
 
-/// A gate resolved against a chunking: its kernel inputs plus whether its
-/// amplitude pairs stay inside one `2^chunk_bits`-amplitude chunk.
-struct Op {
-    kind: OpKind,
-    cross: bool,
-}
-
-enum OpKind {
-    OneQ {
-        q: usize,
-        m: [[C64; 2]; 2],
-    },
-    Cx {
-        control: usize,
-        target: usize,
-    },
-    /// Sorted qubits (CZ is symmetric).
-    Cz {
-        lo: usize,
-        hi: usize,
-    },
-    /// Sorted qubits (SWAP is symmetric).
-    Swap {
-        lo: usize,
-        hi: usize,
-    },
-}
-
-fn resolve(gate: Gate, chunk_bits: usize) -> Op {
-    match gate {
-        Gate::Cx(control, target) => Op {
-            // Pairs differ in the target bit only; a high control merely
-            // selects whole chunks.
-            cross: target >= chunk_bits,
-            kind: OpKind::Cx { control, target },
-        },
-        Gate::Cz(a, b) => Op {
-            // Diagonal: never pairs amplitudes at all.
-            cross: false,
-            kind: OpKind::Cz {
-                lo: a.min(b),
-                hi: a.max(b),
-            },
-        },
-        Gate::Swap(a, b) => Op {
-            cross: a.max(b) >= chunk_bits,
-            kind: OpKind::Swap {
-                lo: a.min(b),
-                hi: a.max(b),
-            },
-        },
-        g => {
-            let q = g.qubits()[0];
-            let m = g.matrix().expect("single-qubit gates always have a matrix");
-            Op {
-                cross: q >= chunk_bits,
-                kind: OpKind::OneQ { q, m },
-            }
-        }
+/// Whether a plan op's amplitude *pairs* reach across a
+/// `2^chunk_bits`-amplitude chunk. Controlled gates are classified by
+/// where their pairs reach, not their controls — a CX with a high control
+/// but low target only swaps within chunks whose base index has the
+/// control bit set, and CZ is diagonal, pairing nothing at all.
+fn crosses_chunks(op: &PlanOp, chunk_bits: usize) -> bool {
+    match *op {
+        PlanOp::OneQ { q, .. } => q >= chunk_bits,
+        PlanOp::Cx { target, .. } => target >= chunk_bits,
+        PlanOp::Cz { .. } => false,
+        PlanOp::Swap { hi, .. } => hi >= chunk_bits,
     }
 }
 
@@ -238,20 +193,20 @@ impl SharedAmps<'_> {
     }
 }
 
-/// Executes `circuit` over `amps` with `workers` scoped threads.
+/// Executes a compiled plan's `ops` over `amps` with `workers` scoped
+/// threads.
 ///
 /// Caller guarantees: `workers` is a power of two, `2 <= workers <=
-/// amps.len() / 2`, and every gate qubit is in range for the state.
-pub(crate) fn run_threaded(amps: &mut [C64], circuit: &Circuit, workers: usize) {
+/// amps.len() / 2`, and every op qubit is in range for the state.
+pub(crate) fn run_threaded(amps: &mut [C64], ops: &[PlanOp], workers: usize) {
     let dim = amps.len();
     debug_assert!(workers.is_power_of_two() && workers >= 2 && workers <= dim / 2);
     let chunk = dim / workers;
     let chunk_bits = chunk.trailing_zeros() as usize;
 
-    let ops: Vec<Op> = circuit
-        .gates()
+    let cross: Vec<bool> = ops
         .iter()
-        .map(|&g| resolve(g, chunk_bits))
+        .map(|op| crosses_chunks(op, chunk_bits))
         .collect();
 
     // Stage the amplitudes into the shared atomic plane.
@@ -272,14 +227,14 @@ pub(crate) fn run_threaded(amps: &mut [C64], circuit: &Circuit, workers: usize) 
         for (k, op) in ops.iter().enumerate() {
             // A barrier is needed whenever ownership hands over: entering,
             // leaving, or staying in cross-chunk partitioning. Runs of
-            // chunk-local gates synchronize nothing.
-            if k > 0 && (op.cross || ops[k - 1].cross) {
+            // chunk-local ops synchronize nothing.
+            if k > 0 && (cross[k] || cross[k - 1]) {
                 barrier.wait();
             }
-            if op.cross {
-                apply_cross(&shared, &op.kind, dim, workers, w);
+            if cross[k] {
+                apply_cross(&shared, op, dim, workers, w);
             } else {
-                apply_local(&shared, &op.kind, base, chunk);
+                apply_local(&shared, op, base, chunk);
             }
         }
     });
@@ -293,10 +248,10 @@ pub(crate) fn run_threaded(amps: &mut [C64], circuit: &Circuit, workers: usize) 
 /// `[base, base + chunk)`. All pair indices stay inside the chunk; qubits
 /// at or above the chunk boundary can only appear as control/phase
 /// conditions, which select whole chunks via `base`.
-fn apply_local(shared: &SharedAmps<'_>, kind: &OpKind, base: usize, chunk: usize) {
+fn apply_local(shared: &SharedAmps<'_>, op: &PlanOp, base: usize, chunk: usize) {
     let chunk_bits = chunk.trailing_zeros() as usize;
-    match *kind {
-        OpKind::OneQ { q, m } => {
+    match *op {
+        PlanOp::OneQ { q, m } => {
             let mask = 1 << q;
             for p in 0..chunk / 2 {
                 let i = base + insert_zero_bit(p, q);
@@ -306,7 +261,7 @@ fn apply_local(shared: &SharedAmps<'_>, kind: &OpKind, base: usize, chunk: usize
                 shared.store(i | mask, b1);
             }
         }
-        OpKind::Cx { control, target } => {
+        PlanOp::Cx { control, target } => {
             let tmask = 1 << target;
             if control < chunk_bits {
                 let cmask = 1 << control;
@@ -324,7 +279,7 @@ fn apply_local(shared: &SharedAmps<'_>, kind: &OpKind, base: usize, chunk: usize
                 }
             }
         }
-        OpKind::Cz { lo, hi } => {
+        PlanOp::Cz { lo, hi } => {
             let (lomask, himask) = (1usize << lo, 1usize << hi);
             if hi < chunk_bits {
                 for p in 0..chunk / 4 {
@@ -342,7 +297,7 @@ fn apply_local(shared: &SharedAmps<'_>, kind: &OpKind, base: usize, chunk: usize
                 }
             }
         }
-        OpKind::Swap { lo, hi } => {
+        PlanOp::Swap { lo, hi } => {
             let (lomask, himask) = (1usize << lo, 1usize << hi);
             for p in 0..chunk / 4 {
                 let i0 = base + insert_zero_bits(p, lo, hi);
@@ -355,9 +310,9 @@ fn apply_local(shared: &SharedAmps<'_>, kind: &OpKind, base: usize, chunk: usize
 /// Applies a cross-chunk op over this worker's share of the gate's global
 /// pair space. The pair-index → amplitude-index expansion is injective, so
 /// worker shares never touch the same amplitude.
-fn apply_cross(shared: &SharedAmps<'_>, kind: &OpKind, dim: usize, workers: usize, w: usize) {
-    match *kind {
-        OpKind::OneQ { q, m } => {
+fn apply_cross(shared: &SharedAmps<'_>, op: &PlanOp, dim: usize, workers: usize, w: usize) {
+    match *op {
+        PlanOp::OneQ { q, m } => {
             let mask = 1 << q;
             for p in parallel::worker_range(dim / 2, workers, w) {
                 let i = insert_zero_bit(p, q);
@@ -367,7 +322,7 @@ fn apply_cross(shared: &SharedAmps<'_>, kind: &OpKind, dim: usize, workers: usiz
                 shared.store(i | mask, b1);
             }
         }
-        OpKind::Cx { control, target } => {
+        PlanOp::Cx { control, target } => {
             let (cmask, tmask) = (1usize << control, 1usize << target);
             let (lo, hi) = (control.min(target), control.max(target));
             for p in parallel::worker_range(dim / 4, workers, w) {
@@ -376,8 +331,8 @@ fn apply_cross(shared: &SharedAmps<'_>, kind: &OpKind, dim: usize, workers: usiz
             }
         }
         // CZ is diagonal and therefore always chunk-local.
-        OpKind::Cz { .. } => unreachable!("CZ never crosses chunks"),
-        OpKind::Swap { lo, hi } => {
+        PlanOp::Cz { .. } => unreachable!("CZ never crosses chunks"),
+        PlanOp::Swap { lo, hi } => {
             let (lomask, himask) = (1usize << lo, 1usize << hi);
             for p in parallel::worker_range(dim / 4, workers, w) {
                 let i0 = insert_zero_bits(p, lo, hi);
@@ -390,6 +345,8 @@ fn apply_cross(shared: &SharedAmps<'_>, kind: &OpKind, dim: usize, workers: usiz
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::circuit::Circuit;
+    use crate::plan::CircuitPlan;
     use crate::state::Statevector;
 
     #[test]
@@ -446,12 +403,13 @@ mod tests {
         c.cx(0, 4).cx(4, 0).cx(1, 2).cz(0, 4).cz(1, 2).swap(0, 4);
         c.swap(1, 2).h(4).x(3).cx(3, 1);
 
+        let plan = CircuitPlan::compile(&c);
         let mut serial = Statevector::zero(n);
-        serial.apply_circuit_serial(&c);
+        serial.apply_plan(&plan);
         for workers in [2usize, 4, 8] {
             let mut threaded = Statevector::zero(n);
             let w = clamp_workers(threaded.amplitudes().len(), workers);
-            run_threaded(threaded.amplitudes_mut(), &c, w);
+            run_threaded(threaded.amplitudes_mut(), plan.ops(), w);
             assert_eq!(
                 serial.amplitudes(),
                 threaded.amplitudes(),

@@ -78,6 +78,32 @@ impl Gate {
         matches!(self, Gate::Cx(..) | Gate::Cz(..) | Gate::Swap(..))
     }
 
+    /// Whether the gate's matrix is diagonal in the computational basis.
+    ///
+    /// Diagonal single-qubit gates commute with CZ (on either qubit) and
+    /// with the *control* side of CX, which is what lets the circuit
+    /// compiler ([`crate::CircuitPlan`]) fold them through entanglers into
+    /// the next rotation run.
+    ///
+    /// ```
+    /// use qsim::Gate;
+    /// assert!(Gate::Rz(0, 0.3).is_diagonal());
+    /// assert!(Gate::Cz(0, 1).is_diagonal());
+    /// assert!(!Gate::Ry(0, 0.3).is_diagonal());
+    /// ```
+    pub fn is_diagonal(&self) -> bool {
+        matches!(
+            self,
+            Gate::Z(_)
+                | Gate::S(_)
+                | Gate::Sdg(_)
+                | Gate::T(_)
+                | Gate::Tdg(_)
+                | Gate::Rz(..)
+                | Gate::Cz(..)
+        )
+    }
+
     /// The 2×2 unitary matrix of a single-qubit gate in row-major order
     /// `[[m00, m01], [m10, m11]]`, or `None` for two-qubit gates.
     ///

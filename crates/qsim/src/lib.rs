@@ -9,10 +9,16 @@
 //!   hardware-efficient ansatz and measurement-basis changes,
 //! - [`Statevector`]: dense simulation with exact outcome probabilities and
 //!   marginals,
+//! - [`CircuitPlan`] / [`PlanCache`]: the circuit compiler — adjacent
+//!   single-qubit gates fuse into one matrix sweep (diagonal runs fold
+//!   through entanglers), and the parameter-free analysis is cached by
+//!   circuit structure so repeated ansatz executions only rebind angles
+//!   (see [`plan`]),
 //! - [`Parallelism`]: serial vs multi-threaded circuit execution — large
 //!   states run the gate kernels on scoped threads (bit-identical to the
-//!   serial path; worker count controlled by the `VARSAW_NUM_THREADS`
-//!   environment variable via [`parallel::num_threads`]),
+//!   serial path, which consumes the same compiled plan; worker count
+//!   controlled by the `VARSAW_NUM_THREADS` environment variable via
+//!   [`parallel::num_threads`]),
 //! - [`sample_counts`] / [`sample_counts_many`]: seeded shot sampling,
 //!   serial and batched-parallel,
 //! - [`lowest_eigenvalue`]: matrix-free Lanczos for exact reference
@@ -41,15 +47,17 @@ mod complex;
 mod exec;
 mod gate;
 mod linalg;
+pub mod plan;
 mod qasm;
 mod sampler;
 mod state;
 
-pub use circuit::Circuit;
+pub use circuit::{Circuit, CircuitStats};
 pub use complex::C64;
 pub use exec::Parallelism;
 pub use gate::Gate;
 pub use linalg::{lowest_eigenvalue, smallest_tridiagonal_eigenvalue, HermitianOp, LanczosResult};
+pub use plan::{CircuitPlan, PlanCache};
 pub use qasm::to_qasm;
 pub use sampler::{sample_counts, sample_counts_many, sample_index};
 pub use state::Statevector;

@@ -4,6 +4,7 @@ use crate::circuit::Circuit;
 use crate::complex::C64;
 use crate::exec::{self, Parallelism};
 use crate::gate::Gate;
+use crate::plan::{CircuitPlan, PlanOp};
 use std::fmt;
 
 /// Smallest amplitude count for which [`Statevector::probabilities`]
@@ -126,12 +127,14 @@ impl Statevector {
         }
     }
 
-    /// Applies every gate of `circuit` in order, choosing serial or
-    /// multi-threaded execution automatically
+    /// Applies `circuit` through a freshly compiled
+    /// [`CircuitPlan`] (gate fusion — see [`crate::plan`]), choosing
+    /// serial or multi-threaded execution automatically
     /// ([`Parallelism::Auto`]) — see [`Statevector::apply_circuit_with`].
     ///
-    /// Both execution paths produce **bit-identical** amplitudes, so the
-    /// choice never changes results, only wall-clock time.
+    /// Both execution paths consume the same plan and produce
+    /// **bit-identical** amplitudes, so the choice never changes results,
+    /// only wall-clock time.
     ///
     /// # Panics
     ///
@@ -140,9 +143,13 @@ impl Statevector {
         self.apply_circuit_with(circuit, Parallelism::Auto);
     }
 
-    /// Applies every gate of `circuit` in order on the calling thread,
-    /// regardless of state size or thread settings. This is the reference
-    /// path the threaded engine is tested against.
+    /// Compiles `circuit` into a fused [`CircuitPlan`] and executes it on
+    /// the calling thread, regardless of state size or thread settings.
+    /// This is the reference path the threaded engine is tested against —
+    /// both execute the *same* plan, so they agree bit for bit.
+    ///
+    /// For the unfused gate-by-gate reference (different bit patterns, the
+    /// same state to `1e-12`), see [`Statevector::apply_circuit_unfused`].
     ///
     /// # Panics
     ///
@@ -157,19 +164,32 @@ impl Statevector {
     /// assert!((psi.probabilities()[0b11] - 0.5).abs() < 1e-12);
     /// ```
     pub fn apply_circuit_serial(&mut self, circuit: &Circuit) {
+        self.apply_plan(&CircuitPlan::compile(circuit));
+    }
+
+    /// Applies every gate of `circuit` one at a time, with no fusion and
+    /// no plan compilation — the legacy execution the fused paths are
+    /// equivalence-tested against (and the "unfused" side of the
+    /// `statevector_fusion` benchmark).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit has more qubits than the state.
+    pub fn apply_circuit_unfused(&mut self, circuit: &Circuit) {
         self.check_circuit(circuit);
         for &g in circuit.gates() {
             self.apply_gate(g);
         }
     }
 
-    /// Applies every gate of `circuit` in order with an explicit
-    /// [`Parallelism`] choice.
+    /// Applies `circuit` with an explicit [`Parallelism`] choice, through
+    /// a freshly compiled [`CircuitPlan`].
     ///
     /// [`Parallelism::Threads`] requests are rounded down to a power of
     /// two and capped so every worker owns at least one amplitude pair; a
     /// resulting worker count of one runs the serial path. Serial and
-    /// threaded execution produce bit-identical amplitudes.
+    /// threaded execution consume the same plan and produce bit-identical
+    /// amplitudes.
     ///
     /// # Panics
     ///
@@ -188,18 +208,112 @@ impl Statevector {
     /// ```
     pub fn apply_circuit_with(&mut self, circuit: &Circuit, mode: Parallelism) {
         self.check_circuit(circuit);
+        self.apply_plan_with(&CircuitPlan::compile(circuit), mode);
+    }
+
+    /// Executes a compiled plan on the calling thread. Callers that run
+    /// one circuit structure many times should compile (or cache — see
+    /// [`crate::PlanCache`]) the plan once and use this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan has more qubits than the state.
+    pub fn apply_plan(&mut self, plan: &CircuitPlan) {
+        self.check_plan(plan);
+        for op in plan.ops() {
+            self.apply_plan_op(op);
+        }
+    }
+
+    /// Executes a compiled plan with an explicit [`Parallelism`] choice.
+    /// The serial and threaded paths consume the same op list and produce
+    /// bit-identical amplitudes; [`Parallelism::Auto`] weighs the plan's
+    /// post-fusion op count, not the source gate count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan has more qubits than the state, or if
+    /// `Parallelism::Threads(0)` is requested.
+    ///
+    /// ```
+    /// use qsim::{Circuit, CircuitPlan, Parallelism, Statevector};
+    /// let mut c = Circuit::new(3);
+    /// c.ry(0, 0.3).rz(0, 0.4).cx(0, 1).cx(1, 2);
+    /// let plan = CircuitPlan::compile(&c);
+    /// let mut a = Statevector::zero(3);
+    /// a.apply_plan_with(&plan, Parallelism::Threads(2));
+    /// let mut b = Statevector::zero(3);
+    /// b.apply_plan(&plan);
+    /// assert_eq!(a.amplitudes(), b.amplitudes());
+    /// ```
+    pub fn apply_plan_with(&mut self, plan: &CircuitPlan, mode: Parallelism) {
+        self.check_plan(plan);
         let workers = match mode {
             Parallelism::Serial => 1,
-            Parallelism::Auto => exec::auto_workers(self.amps.len(), circuit.gate_count()),
+            Parallelism::Auto => exec::auto_workers(self.amps.len(), plan.op_count()),
             Parallelism::Threads(n) => {
                 assert!(n > 0, "Parallelism::Threads needs at least one thread");
                 exec::clamp_workers(self.amps.len(), n)
             }
         };
         if workers < 2 {
-            self.apply_circuit_serial(circuit);
+            for op in plan.ops() {
+                self.apply_plan_op(op);
+            }
         } else {
-            exec::run_threaded(&mut self.amps, circuit, workers);
+            exec::run_threaded(&mut self.amps, plan.ops(), workers);
+        }
+    }
+
+    /// One plan op, serially. Single-qubit sweeps share `pair_update`
+    /// with the threaded engine (identical arithmetic, so identical
+    /// bits); the two-qubit kernels are pure swaps/negations — exact in
+    /// floating point — walked in blocked loops, so any enumeration order
+    /// yields the same bits as the threaded partitioning.
+    fn apply_plan_op(&mut self, op: &PlanOp) {
+        match *op {
+            PlanOp::OneQ { q, m } => self.apply_1q(q, m),
+            PlanOp::Cx { control, target } => {
+                let (cmask, tmask) = (1usize << control, 1usize << target);
+                let (lo, hi) = (control.min(target), control.max(target));
+                self.for_each_pair_base(lo, hi, |amps, i0| {
+                    let i = i0 | cmask;
+                    amps.swap(i, i | tmask);
+                });
+            }
+            PlanOp::Cz { lo, hi } => {
+                let mask = (1usize << lo) | (1usize << hi);
+                self.for_each_pair_base(lo, hi, |amps, i0| {
+                    let i = i0 | mask;
+                    amps[i] = -amps[i];
+                });
+            }
+            PlanOp::Swap { lo, hi } => {
+                let (lomask, himask) = (1usize << lo, 1usize << hi);
+                self.for_each_pair_base(lo, hi, |amps, i0| {
+                    amps.swap(i0 | lomask, i0 | himask);
+                });
+            }
+        }
+    }
+
+    /// Calls `f` for every basis index with bits `lo` and `hi` clear
+    /// (`lo < hi`), in blocked nested loops — no per-element bit
+    /// spreading, sequential innermost access.
+    #[inline]
+    fn for_each_pair_base(&mut self, lo: usize, hi: usize, mut f: impl FnMut(&mut [C64], usize)) {
+        let (lomask, himask) = (1usize << lo, 1usize << hi);
+        let dim = self.amps.len();
+        let mut outer = 0;
+        while outer < dim {
+            let mut mid = outer;
+            while mid < outer + himask {
+                for i in mid..mid + lomask {
+                    f(&mut self.amps, i);
+                }
+                mid += lomask << 1;
+            }
+            outer += himask << 1;
         }
     }
 
@@ -208,6 +322,15 @@ impl Statevector {
             circuit.num_qubits() <= self.num_qubits,
             "circuit acts on {} qubits but state has {}",
             circuit.num_qubits(),
+            self.num_qubits
+        );
+    }
+
+    fn check_plan(&self, plan: &CircuitPlan) {
+        assert!(
+            plan.num_qubits() <= self.num_qubits,
+            "plan acts on {} qubits but state has {}",
+            plan.num_qubits(),
             self.num_qubits
         );
     }

@@ -1,0 +1,146 @@
+//! Property tests for the circuit compiler (`qsim::plan`).
+//!
+//! Three guarantees, over random circuits spanning qubit counts 1–12 and
+//! thread counts 1–8:
+//!
+//! 1. **Fused serial ≡ fused threaded, bitwise.** Both paths consume the
+//!    same compiled plan and perform identical arithmetic, so amplitudes
+//!    must match with `==` on `f64`, never a tolerance.
+//! 2. **Fused ≈ unfused, 1e-12.** Fusion replaces `k` rounded sweeps with
+//!    one rounded matrix product — mathematically the same unitary, so
+//!    every amplitude agrees to tight tolerance but *not* bitwise.
+//! 3. **Rebind ≡ fresh compile, bitwise.** A cached structure rebound
+//!    with new rotation angles multiplies exactly the matrices a fresh
+//!    compile would, so the resulting states are bit-identical.
+
+use proptest::prelude::*;
+use qsim::{Circuit, CircuitPlan, Parallelism, PlanCache, Statevector};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random circuit over `n` qubits drawn from a seeded stream: rotations,
+/// Cliffords, and (for n >= 2) CX/CZ/SWAP on distinct qubit pairs. Biased
+/// toward rotations so single-qubit runs long enough to fuse are common.
+fn random_circuit(n: usize, gates: usize, seed: u64) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new(n);
+    for _ in 0..gates {
+        let q = rng.random_range(0..n);
+        let kind = rng.random_range(0..12u8);
+        match kind {
+            0 => c.h(q),
+            1 => c.x(q),
+            2 => c.s(q),
+            3 => c.sdg(q),
+            4 => c.rx(q, rng.random_range(-3.2..3.2)),
+            5 | 6 => c.ry(q, rng.random_range(-3.2..3.2)),
+            7 | 8 => c.rz(q, rng.random_range(-3.2..3.2)),
+            _ if n < 2 => c.h(q),
+            _ => {
+                let mut p = rng.random_range(0..n);
+                while p == q {
+                    p = rng.random_range(0..n);
+                }
+                match kind {
+                    9 => c.cx(q, p),
+                    10 => c.cz(q, p),
+                    _ => c.swap(q, p),
+                }
+            }
+        };
+    }
+    c
+}
+
+/// The same circuit structure with freshly drawn rotation angles.
+fn reangled(circuit: &Circuit, seed: u64) -> Circuit {
+    use qsim::Gate;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new(circuit.num_qubits());
+    for &g in circuit.gates() {
+        let g = match g {
+            Gate::Rx(q, _) => Gate::Rx(q, rng.random_range(-3.2..3.2)),
+            Gate::Ry(q, _) => Gate::Ry(q, rng.random_range(-3.2..3.2)),
+            Gate::Rz(q, _) => Gate::Rz(q, rng.random_range(-3.2..3.2)),
+            g => g,
+        };
+        c.push(g);
+    }
+    c
+}
+
+proptest! {
+    /// Serial and threaded execution of one compiled plan agree bit for
+    /// bit, for every thread count the engine accepts.
+    #[test]
+    fn fused_serial_and_threaded_are_bit_identical(
+        n in 1usize..=12,
+        threads in 1usize..=8,
+        gates in 1usize..=32,
+        seed in 0u64..100_000,
+    ) {
+        let circuit = random_circuit(n, gates, seed);
+        let plan = CircuitPlan::compile(&circuit);
+        let mut serial = Statevector::zero(n);
+        serial.apply_plan(&plan);
+        let mut threaded = Statevector::zero(n);
+        threaded.apply_plan_with(&plan, Parallelism::Threads(threads));
+        prop_assert_eq!(
+            serial.amplitudes(),
+            threaded.amplitudes(),
+            "divergence: {} qubits, {} threads, {} gates, seed {}",
+            n, threads, gates, seed
+        );
+    }
+
+    /// The fused plan prepares the same state as gate-by-gate execution
+    /// to 1e-12 per amplitude (fusion re-rounds, so not bitwise).
+    #[test]
+    fn fused_matches_unfused_to_1e12(
+        n in 1usize..=10,
+        gates in 1usize..=32,
+        seed in 0u64..100_000,
+    ) {
+        let circuit = random_circuit(n, gates, seed);
+        let mut fused = Statevector::zero(n);
+        fused.apply_circuit_serial(&circuit);
+        let mut unfused = Statevector::zero(n);
+        unfused.apply_circuit_unfused(&circuit);
+        for (i, (a, b)) in fused
+            .amplitudes()
+            .iter()
+            .zip(unfused.amplitudes())
+            .enumerate()
+        {
+            prop_assert!(
+                (*a - *b).abs() < 1e-12,
+                "amplitude {} differs by {:e} ({} qubits, {} gates, seed {})",
+                i, (*a - *b).abs(), n, gates, seed
+            );
+        }
+    }
+
+    /// A cached structure rebound with new rotation angles produces the
+    /// exact amplitudes of a from-scratch compile of the new circuit.
+    #[test]
+    fn cached_plan_rebind_matches_fresh_compile(
+        n in 1usize..=8,
+        gates in 1usize..=24,
+        seed in 0u64..100_000,
+    ) {
+        let first = random_circuit(n, gates, seed);
+        let second = reangled(&first, seed ^ 0x9e37_79b9);
+
+        let mut cache = PlanCache::new();
+        cache.plan(&first);
+        let rebound = cache.plan(&second); // structure hit, parameters rebound
+        prop_assert_eq!(cache.hits(), 1);
+
+        let fresh = CircuitPlan::compile(&second);
+        let mut a = Statevector::zero(n);
+        a.apply_plan(&rebound);
+        let mut b = Statevector::zero(n);
+        b.apply_plan(&fresh);
+        prop_assert_eq!(a.amplitudes(), b.amplitudes());
+    }
+}

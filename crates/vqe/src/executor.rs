@@ -4,7 +4,7 @@ use crate::basis::basis_rotation;
 use mitigation::Pmf;
 use pauli::PauliString;
 use qnoise::{apply_depolarizing, apply_readout_errors, DeviceModel, ReadoutError};
-use qsim::{Circuit, Parallelism, Statevector};
+use qsim::{Circuit, Parallelism, PlanCache, Statevector};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -49,6 +49,11 @@ pub struct SimExecutor {
     circuits_executed: u64,
     exact: bool,
     parallelism: Parallelism,
+    /// Compiled-plan cache keyed by circuit structure: SPSA evaluations,
+    /// subset/Global measurement rotations and MBM circuits all share the
+    /// handful of shapes a VQE run executes, so after the first iteration
+    /// every simulation rebinds a cached plan instead of re-analyzing.
+    plans: PlanCache,
 }
 
 impl SimExecutor {
@@ -66,6 +71,7 @@ impl SimExecutor {
             circuits_executed: 0,
             exact: false,
             parallelism: Parallelism::Auto,
+            plans: PlanCache::new(),
         }
     }
 
@@ -80,6 +86,7 @@ impl SimExecutor {
             circuits_executed: 0,
             exact: true,
             parallelism: Parallelism::Auto,
+            plans: PlanCache::new(),
         }
     }
 
@@ -116,14 +123,16 @@ impl SimExecutor {
     /// state-preparation step evaluators run before their measurement
     /// circuits. Routing preparation through the executor keeps the
     /// parallelism knob in charge of *every* statevector pass of an
-    /// evaluation, not just the basis rotations.
+    /// evaluation, not just the basis rotations, and lets preparation hit
+    /// the executor's [`PlanCache`]: a VQE iteration rebinding new angles
+    /// into a known ansatz shape skips fusion re-analysis entirely.
     ///
     /// ```
     /// use qnoise::DeviceModel;
     /// use qsim::{Circuit, Parallelism};
     /// use vqe::SimExecutor;
     ///
-    /// let exec = SimExecutor::new(DeviceModel::noiseless(2), 16, 1)
+    /// let mut exec = SimExecutor::new(DeviceModel::noiseless(2), 16, 1)
     ///     .with_parallelism(Parallelism::Serial);
     /// let mut c = Circuit::new(2);
     /// c.h(0).cx(0, 1);
@@ -131,10 +140,18 @@ impl SimExecutor {
     /// assert!((state.probabilities()[0b11] - 0.5).abs() < 1e-12);
     /// assert_eq!(exec.circuits_executed(), 0); // preparation is not metered
     /// ```
-    pub fn prepare(&self, circuit: &Circuit) -> Statevector {
+    pub fn prepare(&mut self, circuit: &Circuit) -> Statevector {
         let mut st = Statevector::zero(circuit.num_qubits());
-        st.apply_circuit_with(circuit, self.parallelism);
+        let plan = self.plans.plan(circuit);
+        st.apply_plan_with(&plan, self.parallelism);
         st
+    }
+
+    /// Plan-cache statistics `(structures, hits, misses)` — how often
+    /// simulations rebound a cached circuit structure instead of
+    /// re-analyzing it.
+    pub fn plan_cache_stats(&self) -> (usize, u64, u64) {
+        (self.plans.len(), self.plans.hits(), self.plans.misses())
     }
 
     /// The device model.
@@ -189,7 +206,8 @@ impl SimExecutor {
             "cannot execute a measurement of the identity basis"
         );
         let mut st = state.clone();
-        st.apply_circuit_with(&basis_rotation(basis), self.parallelism);
+        let plan = self.plans.plan(&basis_rotation(basis));
+        st.apply_plan_with(&plan, self.parallelism);
         self.finish(st.marginal_probabilities(&measured), measured)
     }
 
@@ -207,7 +225,8 @@ impl SimExecutor {
     /// is too small.
     pub fn run_prepared_all(&mut self, state: &Statevector, basis: &PauliString) -> Pmf {
         let mut st = state.clone();
-        st.apply_circuit_with(&basis_rotation(basis), self.parallelism);
+        let plan = self.plans.plan(&basis_rotation(basis));
+        st.apply_plan_with(&plan, self.parallelism);
         let measured: Vec<usize> = (0..state.num_qubits()).collect();
         self.finish(st.marginal_probabilities(&measured), measured)
     }
@@ -221,7 +240,8 @@ impl SimExecutor {
     pub fn run_circuit(&mut self, circuit: &Circuit, measured: &[usize]) -> Pmf {
         assert!(!measured.is_empty(), "no qubits to measure");
         let mut st = Statevector::zero(circuit.num_qubits());
-        st.apply_circuit_with(circuit, self.parallelism);
+        let plan = self.plans.plan(circuit);
+        st.apply_plan_with(&plan, self.parallelism);
         self.finish(st.marginal_probabilities(measured), measured.to_vec())
     }
 

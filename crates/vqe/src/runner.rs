@@ -136,8 +136,8 @@ impl BaselineEvaluator {
     }
 
     /// Prepares the ansatz state for `params`, under the executor's
-    /// [`Parallelism`](qsim::Parallelism) mode.
-    pub fn prepare(&self, params: &[f64]) -> Statevector {
+    /// [`Parallelism`](qsim::Parallelism) mode (hitting its plan cache).
+    pub fn prepare(&mut self, params: &[f64]) -> Statevector {
         self.executor.prepare(&self.ansatz.circuit(params))
     }
 }
