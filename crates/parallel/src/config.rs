@@ -1,0 +1,246 @@
+//! Process-wide execution configuration, read from the environment once.
+//!
+//! Two knobs control how the workspace's engines spread work:
+//!
+//! - [`NUM_THREADS_ENV`] (`VARSAW_NUM_THREADS`): the worker-thread count
+//!   behind [`crate::num_threads`], shared by the statevector engine, the
+//!   reconstruction engine and [`crate::parallel_map`];
+//! - [`NUM_SHARDS_ENV`] (`VARSAW_NUM_SHARDS`): an override for the
+//!   amplitude-plane shard count behind [`crate::num_shards`], consulted
+//!   by `qsim::shard`'s auto-sizing heuristic.
+//!
+//! Earlier revisions re-parsed `VARSAW_NUM_THREADS` at every call site,
+//! which both repeated the work on hot paths and silently swallowed
+//! typos (`VARSAW_NUM_THREADS=fast` fell back to the hardware default
+//! with no indication anything was wrong). [`get`] now reads the
+//! environment **once per process**, caches the resolved [`Config`], and
+//! reports every rejected or adjusted value on stderr — later changes to
+//! the environment variables have no effect.
+//!
+//! # Examples
+//!
+//! ```
+//! std::env::set_var(parallel::NUM_THREADS_ENV, "3");
+//! std::env::set_var(parallel::NUM_SHARDS_ENV, "4");
+//! let config = parallel::config::get();
+//! assert_eq!(config.threads, 3);
+//! assert_eq!(config.shards, Some(4));
+//! // Read once: later environment changes are not observed.
+//! std::env::remove_var(parallel::NUM_THREADS_ENV);
+//! assert_eq!(parallel::num_threads(), 3);
+//! ```
+
+use std::sync::OnceLock;
+
+/// Environment variable overriding the default worker count.
+pub const NUM_THREADS_ENV: &str = "VARSAW_NUM_THREADS";
+
+/// Environment variable overriding the automatic amplitude-plane shard
+/// count (see `qsim::shard`). Values are rounded down to a power of two,
+/// the granularity the shard decomposition supports.
+pub const NUM_SHARDS_ENV: &str = "VARSAW_NUM_SHARDS";
+
+/// Hard upper bound on the worker count (sanity cap for typos in the
+/// environment variable).
+pub const MAX_THREADS: usize = 64;
+
+/// Hard upper bound on the shard-count override (sanity cap for typos).
+pub const MAX_SHARDS: usize = 1 << 12;
+
+/// The resolved execution configuration of this process.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Config {
+    /// Worker threads parallel code should use (≥ 1); from
+    /// [`NUM_THREADS_ENV`], defaulting to the hardware parallelism.
+    pub threads: usize,
+    /// Amplitude-plane shard-count override (a power of two), or `None`
+    /// to let engines size shards automatically; from [`NUM_SHARDS_ENV`].
+    pub shards: Option<usize>,
+}
+
+impl Config {
+    /// Resolves a configuration from raw environment values, returning it
+    /// together with the warnings any invalid or adjusted value produced.
+    /// Pure (no environment access), so rejection behavior is unit-testable.
+    fn resolve(
+        threads_raw: Option<&str>,
+        shards_raw: Option<&str>,
+        default_threads: usize,
+    ) -> (Config, Vec<String>) {
+        let mut warnings = Vec::new();
+
+        let threads = match parse_count(NUM_THREADS_ENV, threads_raw, &mut warnings) {
+            Some(n) if n > MAX_THREADS => {
+                warnings.push(format!(
+                    "{NUM_THREADS_ENV}={n} exceeds the cap of {MAX_THREADS}; using {MAX_THREADS}"
+                ));
+                MAX_THREADS
+            }
+            Some(n) => n,
+            None => default_threads.clamp(1, MAX_THREADS),
+        };
+
+        let shards = match parse_count(NUM_SHARDS_ENV, shards_raw, &mut warnings) {
+            Some(n) if n > MAX_SHARDS => {
+                warnings.push(format!(
+                    "{NUM_SHARDS_ENV}={n} exceeds the cap of {MAX_SHARDS}; using {MAX_SHARDS}"
+                ));
+                Some(MAX_SHARDS)
+            }
+            Some(n) if !n.is_power_of_two() => {
+                // Largest power of two <= n (n >= 1 here).
+                let rounded = 1usize << (usize::BITS - 1 - n.leading_zeros());
+                warnings.push(format!(
+                    "{NUM_SHARDS_ENV}={n} is not a power of two; using {rounded}"
+                ));
+                Some(rounded)
+            }
+            Some(n) => Some(n),
+            None => None,
+        };
+
+        (Config { threads, shards }, warnings)
+    }
+}
+
+/// Parses one count variable. `None`/empty means "not set" (no warning);
+/// unparsable or zero values produce a warning and count as unset.
+fn parse_count(name: &str, raw: Option<&str>, warnings: &mut Vec<String>) -> Option<usize> {
+    let raw = raw?.trim();
+    if raw.is_empty() {
+        return None;
+    }
+    match raw.parse::<usize>() {
+        Ok(0) => {
+            warnings.push(format!("{name}=0 is not a valid count; using the default"));
+            None
+        }
+        Ok(n) => Some(n),
+        Err(_) => {
+            warnings.push(format!("{name}={raw:?} is not a number; using the default"));
+            None
+        }
+    }
+}
+
+/// The process-wide configuration, reading the environment on first call
+/// and caching the result (see the [module docs](self)).
+pub fn get() -> &'static Config {
+    static CONFIG: OnceLock<Config> = OnceLock::new();
+    CONFIG.get_or_init(|| {
+        let threads_raw = std::env::var(NUM_THREADS_ENV).ok();
+        let shards_raw = std::env::var(NUM_SHARDS_ENV).ok();
+        let default_threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        let (config, warnings) = Config::resolve(
+            threads_raw.as_deref(),
+            shards_raw.as_deref(),
+            default_threads,
+        );
+        for w in &warnings {
+            eprintln!("parallel: {w}");
+        }
+        config
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn resolve(threads: Option<&str>, shards: Option<&str>) -> (Config, Vec<String>) {
+        Config::resolve(threads, shards, 4)
+    }
+
+    #[test]
+    fn unset_values_use_defaults_without_warnings() {
+        let (c, w) = resolve(None, None);
+        assert_eq!(
+            c,
+            Config {
+                threads: 4,
+                shards: None
+            }
+        );
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn empty_values_count_as_unset() {
+        let (c, w) = resolve(Some(""), Some("  "));
+        assert_eq!(
+            c,
+            Config {
+                threads: 4,
+                shards: None
+            }
+        );
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn valid_values_are_used_verbatim() {
+        let (c, w) = resolve(Some("3"), Some("8"));
+        assert_eq!(
+            c,
+            Config {
+                threads: 3,
+                shards: Some(8)
+            }
+        );
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn invalid_values_are_reported_not_silently_defaulted() {
+        let (c, w) = resolve(Some("fast"), Some("many"));
+        assert_eq!(
+            c,
+            Config {
+                threads: 4,
+                shards: None
+            }
+        );
+        assert_eq!(w.len(), 2, "one warning per rejected variable: {w:?}");
+        assert!(w[0].contains(NUM_THREADS_ENV), "{w:?}");
+        assert!(w[1].contains(NUM_SHARDS_ENV), "{w:?}");
+    }
+
+    #[test]
+    fn zero_is_rejected_with_a_warning() {
+        let (c, w) = resolve(Some("0"), Some("0"));
+        assert_eq!(
+            c,
+            Config {
+                threads: 4,
+                shards: None
+            }
+        );
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn excessive_values_are_capped_with_a_warning() {
+        let (c, w) = resolve(Some("9999"), Some("99999"));
+        assert_eq!(c.threads, MAX_THREADS);
+        assert_eq!(c.shards, Some(MAX_SHARDS));
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn shard_counts_round_down_to_a_power_of_two() {
+        let (c, w) = resolve(None, Some("6"));
+        assert_eq!(c.shards, Some(4));
+        assert_eq!(w.len(), 1);
+        assert!(w[0].contains("power of two"), "{w:?}");
+    }
+
+    #[test]
+    fn default_threads_are_clamped_to_the_cap() {
+        let (c, _) = Config::resolve(None, None, 1000);
+        assert_eq!(c.threads, MAX_THREADS);
+        let (c, _) = Config::resolve(None, None, 0);
+        assert_eq!(c.threads, 1);
+    }
+}

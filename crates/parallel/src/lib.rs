@@ -10,8 +10,10 @@
 //!
 //! Provided here:
 //!
-//! - [`num_threads`]: the worker-count default, overridable with the
-//!   `VARSAW_NUM_THREADS` environment variable;
+//! - [`config`]: the process-wide execution configuration, read **once**
+//!   from the environment ([`num_threads`] / [`num_shards`] are the
+//!   convenience accessors, overridable with the `VARSAW_NUM_THREADS` and
+//!   `VARSAW_NUM_SHARDS` environment variables);
 //! - [`chunk_ranges`] / [`worker_range`]: balanced contiguous index ranges
 //!   for partitioning an array across workers;
 //! - [`scope_workers`]: scoped fan-out of indexed workers (the calling
@@ -34,6 +36,10 @@
 //! });
 //! assert_eq!(partials.iter().sum::<u64>(), (0..1000u64).map(|x| x * x).sum());
 //! ```
+
+pub mod config;
+
+pub use config::{MAX_SHARDS, MAX_THREADS, NUM_SHARDS_ENV, NUM_THREADS_ENV};
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -65,40 +71,42 @@ pub enum Parallelism {
     Threads(usize),
 }
 
-/// Environment variable overriding the default worker count.
-pub const NUM_THREADS_ENV: &str = "VARSAW_NUM_THREADS";
-
-/// Hard upper bound on the worker count (sanity cap for typos in the
-/// environment variable).
-pub const MAX_THREADS: usize = 64;
-
 /// The number of worker threads parallel code should use.
 ///
-/// Reads the `VARSAW_NUM_THREADS` environment variable; unset, empty,
-/// unparsable, or zero values fall back to
-/// [`std::thread::available_parallelism`]. The result is clamped to
-/// `1..=`[`MAX_THREADS`].
+/// Resolved from the `VARSAW_NUM_THREADS` environment variable — **read
+/// once per process** and cached (see [`config`]); unset or empty values
+/// fall back to [`std::thread::available_parallelism`], and invalid
+/// values are reported on stderr instead of silently defaulting. The
+/// result is clamped to `1..=`[`MAX_THREADS`].
 ///
 /// # Examples
 ///
 /// ```
 /// std::env::set_var(parallel::NUM_THREADS_ENV, "3");
 /// assert_eq!(parallel::num_threads(), 3);
+/// // The configuration is cached: later environment changes are ignored.
 /// std::env::remove_var(parallel::NUM_THREADS_ENV);
-/// assert!(parallel::num_threads() >= 1);
+/// assert_eq!(parallel::num_threads(), 3);
 /// ```
 pub fn num_threads() -> usize {
-    let from_env = std::env::var(NUM_THREADS_ENV)
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&n| n > 0);
-    from_env
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|p| p.get())
-                .unwrap_or(1)
-        })
-        .clamp(1, MAX_THREADS)
+    config::get().threads
+}
+
+/// The amplitude-plane shard-count override (a power of two), or `None`
+/// to let engines size shards automatically.
+///
+/// Resolved from the `VARSAW_NUM_SHARDS` environment variable — read once
+/// per process and cached, invalid values reported (see [`config`]). The
+/// consumer is `qsim::shard`'s auto-sizing heuristic.
+///
+/// # Examples
+///
+/// ```
+/// // Unset in this process: engines size shards automatically.
+/// assert_eq!(parallel::num_shards(), None);
+/// ```
+pub fn num_shards() -> Option<usize> {
+    config::get().shards
 }
 
 /// The contiguous index range worker `w` of `workers` owns in `0..len`.

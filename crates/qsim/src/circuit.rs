@@ -149,6 +149,7 @@ impl Circuit {
         let mut run = vec![0usize; self.num_qubits];
         let mut run_lengths = vec![0usize; self.num_qubits];
         let mut stats = CircuitStats {
+            num_qubits: self.num_qubits,
             gate_count: self.gates.len(),
             two_qubit_gates: 0,
             depth: 0,
@@ -244,6 +245,9 @@ impl Circuit {
 /// [`Circuit::stats`].
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CircuitStats {
+    /// The number of qubits of the circuit's register (sizes
+    /// [`CircuitStats::state_bytes`]).
+    pub num_qubits: usize,
     /// Total gates.
     pub gate_count: usize,
     /// Gates acting on two qubits.
@@ -268,6 +272,23 @@ impl CircuitStats {
     /// estimates without compiling — rather than the raw gate count.
     pub fn fused_ops(&self) -> usize {
         self.gate_count - self.fusible_gates
+    }
+
+    /// The bytes a dense statevector over this circuit's register
+    /// occupies (`16 · 2ⁿ`: one [`crate::C64`] per amplitude) — the
+    /// estimate the shard-count heuristic
+    /// (`qsim::shard::auto_shard_count`) and the `Parallelism::Auto`
+    /// dispatch threshold consult before allocating anything.
+    ///
+    /// Returned as `u128` so the estimate stays exact for register sizes
+    /// far beyond what [`crate::Statevector::try_zero`] can allocate.
+    ///
+    /// ```
+    /// use qsim::Circuit;
+    /// assert_eq!(Circuit::new(12).stats().state_bytes(), 16 << 12);
+    /// ```
+    pub fn state_bytes(&self) -> u128 {
+        crate::exec::state_bytes_for_qubits(self.num_qubits)
     }
 }
 

@@ -45,7 +45,7 @@
 //! 1–12 and thread counts 1–8.
 
 use crate::complex::C64;
-use crate::plan::PlanOp;
+use crate::plan::{op_locality, OpLocality, PlanOp};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// How [`Statevector::apply_circuit_with`](crate::Statevector::apply_circuit_with)
@@ -74,9 +74,28 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// ```
 pub use parallel::Parallelism;
 
-/// Smallest amplitude count for which [`Parallelism::Auto`] goes threaded.
-/// Below this (< 11 qubits) a whole circuit costs less than spawning.
-pub(crate) const AUTO_MIN_AMPS: usize = 1 << 11;
+/// Smallest amplitude-plane size for which [`Parallelism::Auto`] goes
+/// threaded, expressed in bytes of the same estimate
+/// [`crate::CircuitStats::state_bytes`] reports (16 bytes per amplitude:
+/// below 2¹¹ amplitudes — 11 qubits — a whole circuit costs less than
+/// spawning).
+pub(crate) const AUTO_MIN_STATE_BYTES: u128 = (std::mem::size_of::<C64>() as u128) << 11;
+
+/// The dense-plane byte footprint of `dim` amplitudes — the dispatch-side
+/// twin of [`crate::CircuitStats::state_bytes`].
+pub(crate) fn state_bytes_for(dim: usize) -> u128 {
+    dim as u128 * std::mem::size_of::<C64>() as u128
+}
+
+/// The dense-plane byte footprint of an `n`-qubit register, saturating
+/// for register sizes beyond any allocatable plane. The single source
+/// behind [`crate::CircuitStats::state_bytes`] and
+/// [`crate::CapacityError::bytes`].
+pub(crate) fn state_bytes_for_qubits(num_qubits: usize) -> u128 {
+    (std::mem::size_of::<C64>() as u128)
+        .checked_shl(num_qubits as u32)
+        .unwrap_or(u128::MAX)
+}
 
 /// Smallest plan op count for which [`Parallelism::Auto`] goes threaded:
 /// spawn cost is amortized over the whole circuit, so very short plans
@@ -110,7 +129,7 @@ pub(crate) fn clamp_workers(dim: usize, requested: usize) -> usize {
 /// The worker count [`Parallelism::Auto`] selects for a state of `dim`
 /// amplitudes and a compiled plan of `ops` full-state sweeps.
 pub(crate) fn auto_workers(dim: usize, ops: usize) -> usize {
-    if dim < AUTO_MIN_AMPS || ops < AUTO_MIN_OPS {
+    if state_bytes_for(dim) < AUTO_MIN_STATE_BYTES || ops < AUTO_MIN_OPS {
         return 1;
     }
     clamp_workers(dim, parallel::num_threads().min(dim / AUTO_MIN_CHUNK))
@@ -143,17 +162,12 @@ pub(crate) fn insert_zero_bits(p: usize, lo: usize, hi: usize) -> usize {
 }
 
 /// Whether a plan op's amplitude *pairs* reach across a
-/// `2^chunk_bits`-amplitude chunk. Controlled gates are classified by
-/// where their pairs reach, not their controls — a CX with a high control
-/// but low target only swaps within chunks whose base index has the
-/// control bit set, and CZ is diagonal, pairing nothing at all.
+/// `2^chunk_bits`-amplitude chunk — the boolean view of the shared
+/// [`op_locality`] classifier (the sharded executor additionally splits
+/// the crossing case into elementwise exchanges and plane swaps; for the
+/// worker engine both partition the global pair space the same way).
 fn crosses_chunks(op: &PlanOp, chunk_bits: usize) -> bool {
-    match *op {
-        PlanOp::OneQ { q, .. } => q >= chunk_bits,
-        PlanOp::Cx { target, .. } => target >= chunk_bits,
-        PlanOp::Cz { .. } => false,
-        PlanOp::Swap { hi, .. } => hi >= chunk_bits,
-    }
+    op_locality(op, chunk_bits) != OpLocality::Local
 }
 
 /// The shared amplitude plane: `re`/`im` of amplitude `i` live at atomic

@@ -19,6 +19,12 @@
 //!   serial path, which consumes the same compiled plan; worker count
 //!   controlled by the `VARSAW_NUM_THREADS` environment variable via
 //!   [`parallel::num_threads`]),
+//! - [`ShardedState`] / [`Sharding`]: sharded amplitude-plane execution —
+//!   the plane splits into contiguous shards keyed by the top qubit bits,
+//!   local ops run shard-parallel with no communication, global-qubit ops
+//!   go through explicit pairwise shard exchanges or O(1) plane swaps,
+//!   and a plan-analysis pass ([`plan::ShardPlan`]) remaps hot qubits
+//!   local first (bit-identical to the dense paths; see [`shard`]),
 //! - [`sample_counts`] / [`sample_counts_many`]: seeded shot sampling,
 //!   serial and batched-parallel,
 //! - [`lowest_eigenvalue`]: matrix-free Lanczos for exact reference
@@ -50,6 +56,7 @@ mod linalg;
 pub mod plan;
 mod qasm;
 mod sampler;
+pub mod shard;
 mod state;
 
 pub use circuit::{Circuit, CircuitStats};
@@ -57,7 +64,8 @@ pub use complex::C64;
 pub use exec::Parallelism;
 pub use gate::Gate;
 pub use linalg::{lowest_eigenvalue, smallest_tridiagonal_eigenvalue, HermitianOp, LanczosResult};
-pub use plan::{CircuitPlan, PlanCache};
+pub use plan::{CircuitPlan, PlanCache, ShardPlan};
 pub use qasm::to_qasm;
 pub use sampler::{sample_counts, sample_counts_many, sample_index};
-pub use state::Statevector;
+pub use shard::{ShardedState, Sharding};
+pub use state::{CapacityError, Statevector};

@@ -374,6 +374,330 @@ impl CircuitPlan {
     }
 }
 
+/// How a [`PlanOp`]'s amplitude pairs relate to a contiguous power-of-two
+/// partition of the amplitude plane into blocks of `2^bits` amplitudes —
+/// the shard decomposition of `qsim::shard`, and equally the worker
+/// chunks of the threaded engine. Controlled gates are classified by
+/// where their *pairs* reach, not their controls: a CX with a high
+/// control but low target only swaps within blocks whose base index has
+/// the control bit set, and CZ is diagonal, pairing nothing at all.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum OpLocality {
+    /// Every pair falls inside one block (possibly conditioned on the
+    /// block's high index bits): no cross-block traffic.
+    Local,
+    /// Pairs reach across blocks elementwise: executing the op moves
+    /// amplitude data between exactly-paired blocks.
+    Exchange,
+    /// Pairs relabel whole blocks (CX with control *and* target high;
+    /// SWAP of two high qubits): executable as O(1) block-handle swaps,
+    /// no amplitude data moves at all.
+    PlaneSwap,
+}
+
+/// Classifies `op` against blocks of `2^bits` amplitudes.
+pub(crate) fn op_locality(op: &PlanOp, bits: usize) -> OpLocality {
+    match *op {
+        PlanOp::OneQ { q, .. } => {
+            if q < bits {
+                OpLocality::Local
+            } else {
+                OpLocality::Exchange
+            }
+        }
+        PlanOp::Cx { control, target } => {
+            if target < bits {
+                OpLocality::Local
+            } else if control < bits {
+                OpLocality::Exchange
+            } else {
+                OpLocality::PlaneSwap
+            }
+        }
+        PlanOp::Cz { .. } => OpLocality::Local,
+        PlanOp::Swap { lo, hi } => {
+            if hi < bits {
+                OpLocality::Local
+            } else if lo < bits {
+                OpLocality::Exchange
+            } else {
+                OpLocality::PlaneSwap
+            }
+        }
+    }
+}
+
+/// One execution step of a [`ShardPlan`]: plan ops grouped by how they
+/// interact with the shard decomposition.
+#[derive(Clone, Debug)]
+pub(crate) enum ShardStep {
+    /// A maximal run of shard-local ops: every shard executes the whole
+    /// run independently — one parallel fan-out, no communication.
+    Local(Vec<PlanOp>),
+    /// One op whose pairs cross shards elementwise: executed as an
+    /// explicit pairwise shard exchange.
+    Exchange(PlanOp),
+    /// One op that only relabels shards: executed as O(1) shard-handle
+    /// swaps.
+    PlaneSwap(PlanOp),
+}
+
+/// The sharded-execution compilation of a [`CircuitPlan`]: a qubit
+/// *layout* that remaps exchange-heavy qubits into the shard-local bit
+/// range, plus the (remapped) ops classified into shard-local runs,
+/// pairwise exchanges, and plane swaps. Executed by
+/// [`crate::ShardedState::apply_shard_plan`]; see the `qsim::shard`
+/// module docs for the execution model.
+///
+/// The analysis is structural — it never reads rotation angles — so a
+/// `ShardPlan` computed for one parameter binding is valid for any
+/// rebind of the same [`PlanCache`] structure. Like compilation itself,
+/// analysis is cheap (one scan of the op list) next to executing a
+/// single op over a large state.
+///
+/// # Examples
+///
+/// A circuit hammering the *top* qubit would naively exchange on every
+/// rotation; the layout analysis remaps it into the local range, leaving
+/// zero exchanges:
+///
+/// ```
+/// use qsim::{Circuit, CircuitPlan};
+/// use qsim::plan::ShardPlan;
+///
+/// let mut c = Circuit::new(4);
+/// c.ry(3, 0.1).cx(3, 0).ry(3, 0.2).cx(3, 1).ry(3, 0.3);
+/// let plan = CircuitPlan::compile(&c);
+/// let sharded = ShardPlan::analyze(&plan, 2);
+/// assert_eq!(sharded.exchange_count(), 0);
+/// assert!(sharded.layout()[3] < 3, "hot qubit 3 remapped into the local range");
+///
+/// // Pinning the identity layout shows what the remap saved.
+/// let identity = ShardPlan::with_layout(&plan, 2, &[0, 1, 2, 3]);
+/// assert_eq!(identity.exchange_count(), 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ShardPlan {
+    num_qubits: usize,
+    shards: usize,
+    local_bits: usize,
+    layout: Vec<usize>,
+    steps: Vec<ShardStep>,
+    local_ops: usize,
+    exchange_ops: usize,
+    plane_swaps: usize,
+}
+
+impl ShardPlan {
+    /// Analyzes `plan` for execution on `shards` shards, choosing the
+    /// qubit layout that minimizes exchange steps: each qubit's
+    /// pair-reaching op count is tallied, and the qubits touched least
+    /// take the global (top) bit positions. Ties prefer the identity
+    /// layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is not a power of two or exceeds the plan's
+    /// amplitude count.
+    pub fn analyze(plan: &CircuitPlan, shards: usize) -> ShardPlan {
+        let local_bits = check_shards(plan.num_qubits(), shards);
+        let n = plan.num_qubits();
+        // Pair-reaching touches per qubit: the ops that would become
+        // exchanges (or plane swaps) if this qubit sat in the global
+        // range. CZ is diagonal and never reaches; CX controls and
+        // high-conditioned phases select, but move nothing.
+        let mut cost = vec![0u64; n];
+        for op in plan.ops() {
+            match *op {
+                PlanOp::OneQ { q, .. } => cost[q] += 1,
+                PlanOp::Cx { target, .. } => cost[target] += 1,
+                PlanOp::Swap { lo, hi } => {
+                    cost[lo] += 1;
+                    cost[hi] += 1;
+                }
+                PlanOp::Cz { .. } => {}
+            }
+        }
+        let mut order: Vec<usize> = (0..n).collect();
+        // Cheapest first; ties resolved toward high qubit indices so an
+        // even tally reproduces the identity layout.
+        order.sort_by_key(|&q| (cost[q], std::cmp::Reverse(q)));
+        let k = n - local_bits;
+        let mut globals = order[..k].to_vec();
+        let mut locals = order[k..].to_vec();
+        globals.sort_unstable();
+        locals.sort_unstable();
+        let mut layout = vec![0usize; n];
+        for (slot, &q) in locals.iter().enumerate() {
+            layout[q] = slot;
+        }
+        for (slot, &q) in globals.iter().enumerate() {
+            layout[q] = local_bits + slot;
+        }
+        Self::build(plan, shards, local_bits, layout)
+    }
+
+    /// Analyzes `plan` under a caller-pinned qubit layout
+    /// (`layout[logical] = physical bit position`) — how a state that
+    /// already adopted a layout executes further plans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is invalid (see [`ShardPlan::analyze`]) or
+    /// `layout` is not a permutation of the plan's qubits.
+    pub fn with_layout(plan: &CircuitPlan, shards: usize, layout: &[usize]) -> ShardPlan {
+        let local_bits = check_shards(plan.num_qubits(), shards);
+        check_layout(plan.num_qubits(), layout);
+        Self::build(plan, shards, local_bits, layout.to_vec())
+    }
+
+    fn build(
+        plan: &CircuitPlan,
+        shards: usize,
+        local_bits: usize,
+        layout: Vec<usize>,
+    ) -> ShardPlan {
+        let mut steps: Vec<ShardStep> = Vec::new();
+        let (mut local_ops, mut exchange_ops, mut plane_swaps) = (0, 0, 0);
+        for op in plan.ops() {
+            let op = remap_op(op, &layout);
+            match op_locality(&op, local_bits) {
+                OpLocality::Local => {
+                    local_ops += 1;
+                    if let Some(ShardStep::Local(run)) = steps.last_mut() {
+                        run.push(op);
+                    } else {
+                        steps.push(ShardStep::Local(vec![op]));
+                    }
+                }
+                OpLocality::Exchange => {
+                    exchange_ops += 1;
+                    steps.push(ShardStep::Exchange(op));
+                }
+                OpLocality::PlaneSwap => {
+                    plane_swaps += 1;
+                    steps.push(ShardStep::PlaneSwap(op));
+                }
+            }
+        }
+        ShardPlan {
+            num_qubits: plan.num_qubits(),
+            shards,
+            local_bits,
+            layout,
+            steps,
+            local_ops,
+            exchange_ops,
+            plane_swaps,
+        }
+    }
+
+    /// The number of qubits the plan acts on.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The shard count the analysis targets.
+    pub fn num_shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The number of amplitude-index bits local to one shard
+    /// (`num_qubits − log2(num_shards)`).
+    pub fn local_bits(&self) -> usize {
+        self.local_bits
+    }
+
+    /// The qubit layout: `layout()[q]` is the physical bit position
+    /// logical qubit `q` occupies during sharded execution. Positions
+    /// `>= local_bits()` select the shard index.
+    pub fn layout(&self) -> &[usize] {
+        &self.layout
+    }
+
+    /// Ops executed shard-locally with no communication.
+    pub fn local_count(&self) -> usize {
+        self.local_ops
+    }
+
+    /// Ops executed as elementwise pairwise shard exchanges — the
+    /// communication cost the layout remap minimizes.
+    pub fn exchange_count(&self) -> usize {
+        self.exchange_ops
+    }
+
+    /// Ops executed as O(1) shard-handle swaps (no amplitude traffic).
+    pub fn plane_swap_count(&self) -> usize {
+        self.plane_swaps
+    }
+
+    /// The execution steps, for the sharded kernels.
+    pub(crate) fn steps(&self) -> &[ShardStep] {
+        &self.steps
+    }
+}
+
+/// Validates a shard count against a register size; returns the
+/// per-shard local bit count. Shared with `qsim::shard`'s constructors
+/// so plan analysis and state allocation reject the same requests with
+/// the same messages.
+pub(crate) fn check_shards(num_qubits: usize, shards: usize) -> usize {
+    assert!(
+        shards.is_power_of_two(),
+        "shard count {shards} is not a power of two"
+    );
+    let shard_bits = shards.trailing_zeros() as usize;
+    assert!(
+        shard_bits <= num_qubits,
+        "{shards} shards need more than the 2^{num_qubits} amplitudes available"
+    );
+    num_qubits - shard_bits
+}
+
+/// Validates that `layout` is a permutation of `0..num_qubits`.
+fn check_layout(num_qubits: usize, layout: &[usize]) {
+    assert_eq!(
+        layout.len(),
+        num_qubits,
+        "layout length {} for a {num_qubits}-qubit plan",
+        layout.len()
+    );
+    let mut seen = vec![false; num_qubits];
+    for &p in layout {
+        assert!(
+            p < num_qubits && !seen[p],
+            "layout {layout:?} is not a permutation of 0..{num_qubits}"
+        );
+        seen[p] = true;
+    }
+}
+
+/// Rewrites an op's qubits through `layout`, preserving the sorted-qubit
+/// invariants of the symmetric ops.
+fn remap_op(op: &PlanOp, layout: &[usize]) -> PlanOp {
+    match *op {
+        PlanOp::OneQ { q, m } => PlanOp::OneQ { q: layout[q], m },
+        PlanOp::Cx { control, target } => PlanOp::Cx {
+            control: layout[control],
+            target: layout[target],
+        },
+        PlanOp::Cz { lo, hi } => {
+            let (a, b) = (layout[lo], layout[hi]);
+            PlanOp::Cz {
+                lo: a.min(b),
+                hi: a.max(b),
+            }
+        }
+        PlanOp::Swap { lo, hi } => {
+            let (a, b) = (layout[lo], layout[hi]);
+            PlanOp::Swap {
+                lo: a.min(b),
+                hi: a.max(b),
+            }
+        }
+    }
+}
+
 /// Memoizes fusion analysis by circuit structure (gate kinds + wiring,
 /// parameters excluded), so repeated executions of one ansatz shape pay
 /// only matrix rebinding. Cheap to clone state-wise: structures are

@@ -1,0 +1,751 @@
+//! Sharded amplitude-plane execution.
+//!
+//! # Why shards
+//!
+//! The dense statevector tops out around 20 qubits on one node: every
+//! gate sweeps the full `2ⁿ` plane, and beyond the cache sizes each sweep
+//! is a fresh trip through memory. [`ShardedState`] splits the plane into
+//! `2ᵏ` contiguous **shards** of `2^(n−k)` amplitudes, keyed by the top
+//! `k` bits of the basis index, and executes a compiled
+//! [`CircuitPlan`] shard by shard:
+//!
+//! - **Local ops** — ops whose amplitude pairs stay inside one shard —
+//!   run with no communication at all. Consecutive local ops are batched
+//!   per shard ([`crate::plan::ShardPlan`] coalesces them), so a run of
+//!   `r` local ops makes **one** pass over each shard instead of `r`
+//!   passes over the whole plane: on states past the cache sizes this is
+//!   a bandwidth win even single-threaded, and across threads each shard
+//!   run is embarrassingly parallel.
+//! - **Exchange ops** — single-qubit ops on a global (top-`k`) qubit, CX
+//!   with a global target, SWAP with one global qubit — pair shards along
+//!   one shard-index bit and update amplitudes elementwise across each
+//!   pair: the explicit communication step a distributed backend would
+//!   send messages for.
+//! - **Plane swaps** — CX with control *and* target global, SWAP of two
+//!   global qubits — only relabel shards and execute as O(1) shard-handle
+//!   swaps: no amplitude data moves.
+//!
+//! The plan-analysis pass additionally **remaps hot qubits into the
+//! local range** (see [`ShardPlan::analyze`]): the `k` least pair-touched
+//! qubits take the global bit positions, which typically turns almost
+//! every exchange in an ansatz-shaped circuit into a local op. The state
+//! records the adopted layout and un-permutes when read back.
+//!
+//! # Bit-identical results
+//!
+//! Sharded execution performs the exact same floating-point operations
+//! per logical amplitude as the serial and threaded planes — the kernels
+//! share `pair_update`, the two-qubit ops are exact swaps/negations, and
+//! the layout only changes *where* an amplitude is stored, never its
+//! arithmetic — so [`ShardedState::to_statevector`] equals the serial
+//! result **bit for bit** (property-tested across shard × thread grids in
+//! `tests/shard_equiv.rs`).
+//!
+//! # Examples
+//!
+//! ```
+//! use qsim::{Circuit, CircuitPlan, ShardedState, Statevector};
+//!
+//! let mut c = Circuit::new(4);
+//! c.h(0).cx(0, 1).cx(1, 2).cx(2, 3).ry(3, 0.7);
+//! let plan = CircuitPlan::compile(&c);
+//!
+//! let mut serial = Statevector::zero(4);
+//! serial.apply_plan(&plan);
+//!
+//! let mut sharded = ShardedState::zero(4, 4);
+//! sharded.apply_plan(&plan);
+//! assert_eq!(sharded.to_statevector().amplitudes(), serial.amplitudes());
+//! ```
+
+use crate::circuit::CircuitStats;
+use crate::complex::C64;
+use crate::exec::{self, Parallelism};
+use crate::plan::{check_shards, CircuitPlan, PlanOp, ShardPlan, ShardStep};
+use crate::state::{CapacityError, Statevector};
+
+/// How an executor decomposes statevector simulation across amplitude
+/// shards (the `qsim`-level twin of [`Parallelism`]: shards decide the
+/// memory partition, parallelism decides the threads that walk it).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Sharding {
+    /// Always simulate on the single dense plane.
+    Off,
+    /// Shard automatically when the register is large enough:
+    /// [`auto_shard_count`] consults the circuit's
+    /// [`state_bytes`](CircuitStats::state_bytes) estimate and the
+    /// `VARSAW_NUM_SHARDS` override ([`parallel::num_shards`]).
+    Auto,
+    /// Request an explicit shard count (a power of two).
+    Shards(usize),
+}
+
+/// Ceiling on one shard's amplitude storage under [`Sharding::Auto`]:
+/// 4 MiB (2¹⁸ amplitudes) — small enough that a run of local ops on one
+/// shard stays in cache, large enough that exchange steps stay rare.
+pub(crate) const AUTO_SHARD_BYTES: u128 = 4 << 20;
+
+/// Cap on the automatically chosen shard count.
+const AUTO_MAX_SHARDS: usize = 64;
+
+/// The shard count [`Sharding::Auto`] selects for a circuit with the
+/// given [`Circuit::stats`](crate::Circuit::stats): the `VARSAW_NUM_SHARDS`
+/// override when set (clamped to the register), otherwise the smallest
+/// power of two keeping each shard at or under the 4 MiB auto-shard
+/// ceiling (so ≤ 18-qubit states stay on one plane).
+///
+/// ```
+/// use qsim::{shard::auto_shard_count, Circuit};
+/// assert_eq!(auto_shard_count(&Circuit::new(12).stats()), 1);
+/// assert_eq!(auto_shard_count(&Circuit::new(20).stats()), 4);
+/// ```
+pub fn auto_shard_count(stats: &CircuitStats) -> usize {
+    let max = 1usize << stats.num_qubits.min(30);
+    if let Some(s) = parallel::num_shards() {
+        return s.min(max);
+    }
+    let mut shards = 1usize;
+    while shards < AUTO_MAX_SHARDS && stats.state_bytes() / (shards as u128) > AUTO_SHARD_BYTES {
+        shards *= 2;
+    }
+    shards.min(max)
+}
+
+/// A pure `n`-qubit state stored as `2ᵏ` contiguous amplitude shards —
+/// see the [module docs](self) for the execution model.
+///
+/// The state tracks the qubit **layout** its first applied
+/// [`ShardPlan`] adopted (`layout()[q]` = physical bit position of
+/// logical qubit `q`); reads ([`ShardedState::to_statevector`],
+/// [`ShardedState::probabilities`]) un-permute, so callers only ever see
+/// logical basis ordering.
+#[derive(Clone, Debug)]
+pub struct ShardedState {
+    num_qubits: usize,
+    local_bits: usize,
+    shards: Vec<Vec<C64>>,
+    layout: Vec<usize>,
+    /// Whether a plan has been applied: the zero state is invariant under
+    /// any qubit permutation, so an unapplied state may still adopt a new
+    /// plan's layout.
+    dirty: bool,
+    parallelism: Parallelism,
+}
+
+impl ShardedState {
+    /// The all-zeros state `|0…0⟩` over `num_shards` shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_shards` is not a power of two, exceeds the
+    /// amplitude count, or the plane cannot be allocated (see
+    /// [`ShardedState::try_zero`] for the fallible variant).
+    pub fn zero(num_qubits: usize, num_shards: usize) -> Self {
+        Self::try_zero(num_qubits, num_shards).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The all-zeros state, or a [`CapacityError`] when the register
+    /// exceeds the 30-qubit dense limit or the allocator refuses a
+    /// shard's reservation. Each shard is reserved fallibly
+    /// ([`Vec::try_reserve_exact`]), so an oversized request reports
+    /// instead of aborting — the seam a capacity-probing scheduler
+    /// retries with more shards or a smaller register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_shards` is not a power of two or exceeds the
+    /// amplitude count (caller bugs, not capacity conditions).
+    ///
+    /// ```
+    /// use qsim::ShardedState;
+    /// assert!(ShardedState::try_zero(10, 4).is_ok());
+    /// assert_eq!(ShardedState::try_zero(31, 4).unwrap_err().num_qubits(), 31);
+    /// ```
+    pub fn try_zero(num_qubits: usize, num_shards: usize) -> Result<Self, CapacityError> {
+        let local_bits = check_shards(num_qubits, num_shards);
+        if num_qubits > 30 {
+            return Err(CapacityError::new(num_qubits));
+        }
+        let shard_len = 1usize << local_bits;
+        let mut shards = Vec::new();
+        if shards.try_reserve_exact(num_shards).is_err() {
+            return Err(CapacityError::new(num_qubits));
+        }
+        for _ in 0..num_shards {
+            let mut shard: Vec<C64> = Vec::new();
+            if shard.try_reserve_exact(shard_len).is_err() {
+                return Err(CapacityError::new(num_qubits));
+            }
+            shard.resize(shard_len, C64::ZERO);
+            shards.push(shard);
+        }
+        shards[0][0] = C64::ONE;
+        Ok(ShardedState {
+            num_qubits,
+            local_bits,
+            shards,
+            layout: (0..num_qubits).collect(),
+            dirty: false,
+            parallelism: Parallelism::Auto,
+        })
+    }
+
+    /// Scatters a dense state into `num_shards` shards (identity layout).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_shards` is invalid for the state's register.
+    pub fn from_statevector(state: &Statevector, num_shards: usize) -> Self {
+        let local_bits = check_shards(state.num_qubits(), num_shards);
+        let shard_len = 1usize << local_bits;
+        let shards = state
+            .amplitudes()
+            .chunks(shard_len)
+            .map(|c| c.to_vec())
+            .collect();
+        ShardedState {
+            num_qubits: state.num_qubits(),
+            local_bits,
+            shards,
+            layout: (0..state.num_qubits()).collect(),
+            dirty: true,
+            parallelism: Parallelism::Auto,
+        }
+    }
+
+    /// Sets how execution spreads shard work across threads (default
+    /// [`Parallelism::Auto`]). Like the dense engines, the choice never
+    /// changes results — all paths are bit-identical.
+    pub fn with_parallelism(mut self, mode: Parallelism) -> Self {
+        self.parallelism = mode;
+        self
+    }
+
+    /// The number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Amplitudes per shard (`2^local_bits`).
+    pub fn shard_len(&self) -> usize {
+        1 << self.local_bits
+    }
+
+    /// The adopted qubit layout (`layout()[q]` = physical bit position of
+    /// logical qubit `q`); identity until a plan with a remap is applied.
+    pub fn layout(&self) -> &[usize] {
+        &self.layout
+    }
+
+    /// Analyzes `plan` for this state's shard count and executes it. A
+    /// fresh (`|0…0⟩`) state adopts the analysis' exchange-minimizing
+    /// layout; a state that already evolved pins its adopted layout so
+    /// amplitudes never need physical re-permutation. Callers executing
+    /// one structure many times should analyze once and use
+    /// [`ShardedState::apply_shard_plan`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan's qubit count differs from the state's.
+    pub fn apply_plan(&mut self, plan: &CircuitPlan) {
+        let sp = if self.dirty {
+            ShardPlan::with_layout(plan, self.num_shards(), &self.layout)
+        } else {
+            ShardPlan::analyze(plan, self.num_shards())
+        };
+        self.apply_shard_plan(&sp);
+    }
+
+    /// Executes a precomputed [`ShardPlan`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the analysis' qubit count or shard count differ from the
+    /// state's, or if the state has already evolved under a different
+    /// layout than the analysis assumes.
+    pub fn apply_shard_plan(&mut self, sp: &ShardPlan) {
+        assert_eq!(
+            sp.num_qubits(),
+            self.num_qubits,
+            "shard plan acts on {} qubits but state has {}",
+            sp.num_qubits(),
+            self.num_qubits
+        );
+        assert_eq!(
+            sp.num_shards(),
+            self.shards.len(),
+            "shard plan targets {} shards but state has {}",
+            sp.num_shards(),
+            self.shards.len()
+        );
+        if self.dirty {
+            assert_eq!(
+                sp.layout(),
+                &self.layout[..],
+                "shard plan layout differs from the state's adopted layout"
+            );
+        } else {
+            self.layout.copy_from_slice(sp.layout());
+            self.dirty = true;
+        }
+        let workers = self.workers();
+        for step in sp.steps() {
+            match step {
+                ShardStep::Local(ops) => self.run_local(ops, workers),
+                ShardStep::Exchange(op) => self.run_exchange(op, workers),
+                ShardStep::PlaneSwap(op) => self.run_plane_swap(op),
+            }
+        }
+    }
+
+    /// The worker count the parallelism mode yields for this state.
+    fn workers(&self) -> usize {
+        match self.parallelism {
+            Parallelism::Serial => 1,
+            Parallelism::Threads(n) => {
+                assert!(n > 0, "Parallelism::Threads needs at least one thread");
+                n
+            }
+            Parallelism::Auto => {
+                let dim = self.shards.len() << self.local_bits;
+                if exec::state_bytes_for(dim) < exec::AUTO_MIN_STATE_BYTES {
+                    1
+                } else {
+                    parallel::num_threads()
+                }
+            }
+        }
+    }
+
+    /// Runs a batch of shard-local ops: each shard executes the whole run
+    /// independently (one fan-out for the entire batch).
+    fn run_local(&mut self, ops: &[PlanOp], workers: usize) {
+        let local_bits = self.local_bits;
+        let nshards = self.shards.len();
+        let w = workers.min(nshards).max(1);
+        parallel::for_each_chunk_mut(&mut self.shards, w, |wi, chunk| {
+            let first = parallel::worker_range(nshards, w, wi).start;
+            for (i, shard) in chunk.iter_mut().enumerate() {
+                let base = (first + i) << local_bits;
+                for op in ops {
+                    apply_local_op(shard, base, local_bits, op);
+                }
+            }
+        });
+    }
+
+    /// Runs one exchange op: shards pair along the op's global bit and
+    /// update elementwise across each pair. Pairs (sub-split when there
+    /// are fewer pairs than workers) are partitioned across threads.
+    fn run_exchange(&mut self, op: &PlanOp, workers: usize) {
+        let local_bits = self.local_bits;
+        let shard_len = 1usize << local_bits;
+
+        /// What to do with each paired (low-half, high-half) element run.
+        enum Kind {
+            OneQ { m: [[C64; 2]; 2] },
+            CxLocalControl { cmask: usize },
+            SwapLocalLo { lomask: usize },
+        }
+        // `min_block`: sub-splits must align so an element's low
+        // (condition/pair) bits are preserved within each sub-slice.
+        let (gq, kind, min_block) = match *op {
+            PlanOp::OneQ { q, m } => (q, Kind::OneQ { m }, 1),
+            PlanOp::Cx { control, target } => (
+                target,
+                Kind::CxLocalControl {
+                    cmask: 1 << control,
+                },
+                1usize << (control + 1),
+            ),
+            PlanOp::Swap { lo, hi } => (
+                hi,
+                Kind::SwapLocalLo { lomask: 1 << lo },
+                1usize << (lo + 1),
+            ),
+            PlanOp::Cz { .. } => unreachable!("CZ is diagonal and never exchanges"),
+        };
+        debug_assert!(gq >= local_bits);
+        let sbit = 1usize << (gq - local_bits);
+
+        // Sub-split each shard pair so small shard counts still saturate
+        // the workers; power-of-two split counts keep slices aligned.
+        let npairs = self.shards.len() / 2;
+        let max_splits = shard_len / min_block;
+        let splits = workers
+            .div_ceil(npairs.max(1))
+            .next_power_of_two()
+            .clamp(1, max_splits.max(1));
+        let sub = shard_len / splits;
+
+        let mut tasks: Vec<(&mut [C64], &mut [C64])> = Vec::with_capacity(npairs * splits);
+        for block in self.shards.chunks_mut(2 * sbit) {
+            let (lo_half, hi_half) = block.split_at_mut(sbit);
+            for (a, b) in lo_half.iter_mut().zip(hi_half.iter_mut()) {
+                for (sa, sb) in a.chunks_mut(sub).zip(b.chunks_mut(sub)) {
+                    tasks.push((sa, sb));
+                }
+            }
+        }
+        let w = workers.min(tasks.len()).max(1);
+        parallel::for_each_chunk_mut(&mut tasks, w, |_, chunk| {
+            for (sa, sb) in chunk.iter_mut() {
+                match kind {
+                    Kind::OneQ { m } => {
+                        for (a, b) in sa.iter_mut().zip(sb.iter_mut()) {
+                            let (b0, b1) = exec::pair_update(&m, *a, *b);
+                            *a = b0;
+                            *b = b1;
+                        }
+                    }
+                    Kind::CxLocalControl { cmask } => {
+                        // Swap pairs whose (local) index has the control
+                        // bit set; alignment guarantees `j & cmask` only
+                        // depends on the in-slice offset.
+                        for j in 0..sa.len() {
+                            if j & cmask != 0 {
+                                std::mem::swap(&mut sa[j], &mut sb[j]);
+                            }
+                        }
+                    }
+                    Kind::SwapLocalLo { lomask } => {
+                        // Pair (i0 | lomask) on the low half with i0 on
+                        // the high half, i0 running over lo-clear offsets.
+                        let lo_bit = lomask.trailing_zeros() as usize;
+                        for p in 0..sa.len() / 2 {
+                            let i0 = exec::insert_zero_bit(p, lo_bit);
+                            std::mem::swap(&mut sa[i0 | lomask], &mut sb[i0]);
+                        }
+                    }
+                }
+            }
+        });
+    }
+
+    /// Runs one plane-swap op: O(1) shard-handle swaps, no data movement.
+    fn run_plane_swap(&mut self, op: &PlanOp) {
+        let local_bits = self.local_bits;
+        match *op {
+            PlanOp::Cx { control, target } => {
+                let (cbit, tbit) = (
+                    1usize << (control - local_bits),
+                    1usize << (target - local_bits),
+                );
+                for s in 0..self.shards.len() {
+                    if s & cbit != 0 && s & tbit == 0 {
+                        self.shards.swap(s, s | tbit);
+                    }
+                }
+            }
+            PlanOp::Swap { lo, hi } => {
+                let (lbit, hbit) = (1usize << (lo - local_bits), 1usize << (hi - local_bits));
+                for s in 0..self.shards.len() {
+                    if s & lbit != 0 && s & hbit == 0 {
+                        self.shards.swap(s, s ^ lbit ^ hbit);
+                    }
+                }
+            }
+            _ => unreachable!("only CX and SWAP relabel whole shards"),
+        }
+    }
+
+    /// Gathers the shards back into a dense [`Statevector`] in logical
+    /// basis ordering (un-permuting the adopted layout).
+    pub fn to_statevector(&self) -> Statevector {
+        let dim = self.shards.len() << self.local_bits;
+        let moved: Vec<(usize, usize)> = self
+            .layout
+            .iter()
+            .enumerate()
+            .filter(|&(q, &p)| p != q)
+            .map(|(q, &p)| (p, q))
+            .collect();
+        let mut amps = vec![C64::ZERO; dim];
+        if moved.is_empty() {
+            for (s, shard) in self.shards.iter().enumerate() {
+                let base = s << self.local_bits;
+                amps[base..base + shard.len()].copy_from_slice(shard);
+            }
+        } else {
+            let mut fixed_mask = dim - 1;
+            for &(p, _) in &moved {
+                fixed_mask &= !(1usize << p);
+            }
+            for (s, shard) in self.shards.iter().enumerate() {
+                let base = s << self.local_bits;
+                for (j, &a) in shard.iter().enumerate() {
+                    let p = base | j;
+                    let mut x = p & fixed_mask;
+                    for &(pb, lb) in &moved {
+                        x |= ((p >> pb) & 1) << lb;
+                    }
+                    amps[x] = a;
+                }
+            }
+        }
+        Statevector::from_amplitudes(amps)
+    }
+
+    /// The full outcome distribution in logical basis ordering.
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.to_statevector().probabilities()
+    }
+
+    /// The squared norm (1 for a valid state; useful in tests).
+    pub fn norm_sqr(&self) -> f64 {
+        self.shards.iter().flatten().map(|a| a.norm_sqr()).sum()
+    }
+}
+
+/// Applies one shard-local op to a single shard whose global index bits
+/// are `base` (already shifted into amplitude-index position). Qubits at
+/// or above `local_bits` only appear as control/phase conditions, which
+/// select whole shards via `base`.
+fn apply_local_op(shard: &mut [C64], base: usize, local_bits: usize, op: &PlanOp) {
+    match *op {
+        PlanOp::OneQ { q, m } => {
+            debug_assert!(q < local_bits);
+            let mask = 1usize << q;
+            for p in 0..shard.len() / 2 {
+                let i = exec::insert_zero_bit(p, q);
+                let (b0, b1) = exec::pair_update(&m, shard[i], shard[i | mask]);
+                shard[i] = b0;
+                shard[i | mask] = b1;
+            }
+        }
+        PlanOp::Cx { control, target } => {
+            debug_assert!(target < local_bits);
+            let tmask = 1usize << target;
+            if control < local_bits {
+                let cmask = 1usize << control;
+                let (lo, hi) = (control.min(target), control.max(target));
+                for p in 0..shard.len() / 4 {
+                    let i = exec::insert_zero_bits(p, lo, hi) | cmask;
+                    shard.swap(i, i | tmask);
+                }
+            } else if base & (1usize << control) != 0 {
+                // Global control: this whole shard sits in the controlled
+                // subspace; apply X on the target within it.
+                for p in 0..shard.len() / 2 {
+                    let i = exec::insert_zero_bit(p, target);
+                    shard.swap(i, i | tmask);
+                }
+            }
+        }
+        PlanOp::Cz { lo, hi } => match (lo < local_bits, hi < local_bits) {
+            (true, true) => {
+                let mask = (1usize << lo) | (1usize << hi);
+                for p in 0..shard.len() / 4 {
+                    let i = exec::insert_zero_bits(p, lo, hi) | mask;
+                    shard[i] = -shard[i];
+                }
+            }
+            (true, false) => {
+                if base & (1usize << hi) != 0 {
+                    let lomask = 1usize << lo;
+                    for p in 0..shard.len() / 2 {
+                        let i = exec::insert_zero_bit(p, lo) | lomask;
+                        shard[i] = -shard[i];
+                    }
+                }
+            }
+            (false, false) => {
+                if base & (1usize << lo) != 0 && base & (1usize << hi) != 0 {
+                    for a in shard.iter_mut() {
+                        *a = -*a;
+                    }
+                }
+            }
+            (false, true) => unreachable!("CZ stores sorted qubits"),
+        },
+        PlanOp::Swap { lo, hi } => {
+            debug_assert!(hi < local_bits);
+            let (lomask, himask) = (1usize << lo, 1usize << hi);
+            for p in 0..shard.len() / 4 {
+                let i0 = exec::insert_zero_bits(p, lo, hi);
+                shard.swap(i0 | lomask, i0 | himask);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+
+    fn apply_both(c: &Circuit, shards: usize) -> (Statevector, Statevector) {
+        let plan = CircuitPlan::compile(c);
+        let mut serial = Statevector::zero(c.num_qubits());
+        serial.apply_plan(&plan);
+        let mut sharded = ShardedState::zero(c.num_qubits(), shards);
+        sharded.apply_plan(&plan);
+        (serial, sharded.to_statevector())
+    }
+
+    #[test]
+    fn ghz_matches_across_shard_counts() {
+        let n = 5;
+        let mut c = Circuit::new(n);
+        c.h(0);
+        for q in 1..n {
+            c.cx(q - 1, q);
+        }
+        for shards in [1usize, 2, 4, 8] {
+            let (serial, sharded) = apply_both(&c, shards);
+            assert_eq!(serial.amplitudes(), sharded.amplitudes(), "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn global_qubit_kernels_match() {
+        // Every op touches the top qubits, forcing exchanges and plane
+        // swaps under a pinned identity layout.
+        let n = 4;
+        let mut c = Circuit::new(n);
+        c.h(3)
+            .cx(3, 2)
+            .cx(2, 3)
+            .cz(3, 0)
+            .swap(3, 0)
+            .swap(3, 2)
+            .ry(3, 0.7)
+            .cx(0, 3);
+        let plan = CircuitPlan::compile(&c);
+        let mut serial = Statevector::zero(n);
+        serial.apply_plan(&plan);
+        let layout: Vec<usize> = (0..n).collect();
+        for shards in [2usize, 4] {
+            let sp = ShardPlan::with_layout(&plan, shards, &layout);
+            assert!(sp.exchange_count() + sp.plane_swap_count() > 0);
+            let mut sharded = ShardedState::zero(n, shards);
+            sharded.apply_shard_plan(&sp);
+            assert_eq!(
+                serial.amplitudes(),
+                sharded.to_statevector().amplitudes(),
+                "{shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn remap_reduces_exchanges_and_stays_exact() {
+        // Rotations hammer the top qubit; the analysis moves it local.
+        let n = 6;
+        let mut c = Circuit::new(n);
+        for i in 0..6 {
+            c.ry(n - 1, 0.1 * (i + 1) as f64).cx(n - 1, i % (n - 1));
+        }
+        let plan = CircuitPlan::compile(&c);
+        let remapped = ShardPlan::analyze(&plan, 4);
+        let identity = ShardPlan::with_layout(&plan, 4, &(0..n).collect::<Vec<_>>());
+        assert!(
+            remapped.exchange_count() < identity.exchange_count(),
+            "remap {} vs identity {}",
+            remapped.exchange_count(),
+            identity.exchange_count()
+        );
+        let mut serial = Statevector::zero(n);
+        serial.apply_plan(&plan);
+        let mut sharded = ShardedState::zero(n, 4);
+        sharded.apply_shard_plan(&remapped);
+        assert_eq!(serial.amplitudes(), sharded.to_statevector().amplitudes());
+    }
+
+    #[test]
+    fn threads_never_change_results() {
+        let n = 7;
+        let mut c = Circuit::new(n);
+        for q in 0..n {
+            c.ry(q, 0.2 + q as f64).rz(q, -0.4 * q as f64);
+        }
+        c.cx(0, 6).cz(5, 6).swap(1, 6).cx(6, 2).h(5);
+        let plan = CircuitPlan::compile(&c);
+        let mut serial = Statevector::zero(n);
+        serial.apply_plan(&plan);
+        for threads in [1usize, 2, 3, 8] {
+            let mut sharded =
+                ShardedState::zero(n, 4).with_parallelism(Parallelism::Threads(threads));
+            sharded.apply_plan(&plan);
+            assert_eq!(
+                serial.amplitudes(),
+                sharded.to_statevector().amplitudes(),
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn second_plan_pins_the_adopted_layout() {
+        let n = 4;
+        let mut a = Circuit::new(n);
+        a.ry(3, 0.3).ry(3, 0.4);
+        let mut b = Circuit::new(n);
+        b.cx(3, 0).h(1);
+        let mut serial = Statevector::zero(n);
+        serial.apply_plan(&CircuitPlan::compile(&a));
+        serial.apply_plan(&CircuitPlan::compile(&b));
+        let mut sharded = ShardedState::zero(n, 2);
+        sharded.apply_plan(&CircuitPlan::compile(&a));
+        let adopted = sharded.layout().to_vec();
+        sharded.apply_plan(&CircuitPlan::compile(&b));
+        assert_eq!(sharded.layout(), &adopted[..], "layout stays pinned");
+        assert_eq!(serial.amplitudes(), sharded.to_statevector().amplitudes());
+    }
+
+    #[test]
+    fn from_statevector_round_trips() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).ry(2, 0.9);
+        let mut st = Statevector::zero(3);
+        st.apply_circuit(&c);
+        let sharded = ShardedState::from_statevector(&st, 4);
+        assert_eq!(sharded.to_statevector().amplitudes(), st.amplitudes());
+        assert!((sharded.norm_sqr() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn try_zero_reports_capacity() {
+        let err = ShardedState::try_zero(31, 4).unwrap_err();
+        assert_eq!(err.num_qubits(), 31);
+        assert!(ShardedState::try_zero(8, 8).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a power of two")]
+    fn non_power_of_two_shards_rejected() {
+        ShardedState::zero(4, 3);
+    }
+
+    #[test]
+    fn auto_shard_count_scales_with_state_bytes() {
+        assert_eq!(auto_shard_count(&Circuit::new(4).stats()), 1);
+        assert_eq!(auto_shard_count(&Circuit::new(18).stats()), 1);
+        assert_eq!(auto_shard_count(&Circuit::new(19).stats()), 2);
+        assert_eq!(auto_shard_count(&Circuit::new(20).stats()), 4);
+        // Never more shards than amplitudes.
+        assert!(auto_shard_count(&Circuit::new(1).stats()) <= 2);
+    }
+
+    #[test]
+    fn plane_swap_is_handle_relabeling() {
+        // A SWAP of two global qubits must cost no amplitude traffic and
+        // still relocate the excitation.
+        let n = 4;
+        let mut c = Circuit::new(n);
+        c.x(2).swap(2, 3).cx(2, 3);
+        let plan = CircuitPlan::compile(&c);
+        let sp = ShardPlan::with_layout(&plan, 4, &[0, 1, 2, 3]);
+        assert_eq!(sp.plane_swap_count(), 2);
+        let mut serial = Statevector::zero(n);
+        serial.apply_plan(&plan);
+        let mut sharded = ShardedState::zero(n, 4);
+        sharded.apply_shard_plan(&sp);
+        assert_eq!(serial.amplitudes(), sharded.to_statevector().amplitudes());
+    }
+}

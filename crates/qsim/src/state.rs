@@ -12,6 +12,50 @@ use std::fmt;
 /// amortize the thread spawns.
 const PROBS_PARALLEL_MIN_AMPS: usize = 1 << 16;
 
+/// A dense amplitude plane cannot be allocated: the register is beyond
+/// the representation limit, or the allocator refused the reservation.
+/// Returned by [`Statevector::try_zero`] (and the sharded allocator,
+/// `qsim::shard::ShardedState::try_zero`) so capacity-probing callers can
+/// fall back — e.g. to more shards or a smaller register — instead of
+/// aborting the process.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CapacityError {
+    num_qubits: usize,
+    bytes: u128,
+}
+
+impl CapacityError {
+    pub(crate) fn new(num_qubits: usize) -> Self {
+        CapacityError {
+            num_qubits,
+            bytes: exec::state_bytes_for_qubits(num_qubits),
+        }
+    }
+
+    /// The register size that could not be allocated.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The bytes the dense amplitude plane would have occupied
+    /// (saturating for absurd register sizes).
+    pub fn bytes(&self) -> u128 {
+        self.bytes
+    }
+}
+
+impl fmt::Display for CapacityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cannot allocate a dense {}-qubit statevector ({} bytes)",
+            self.num_qubits, self.bytes
+        )
+    }
+}
+
+impl std::error::Error for CapacityError {}
+
 /// A pure quantum state over `n` qubits, stored as 2ⁿ complex amplitudes.
 ///
 /// Basis-state index bit `q` is the outcome of qubit `q` (little-endian:
@@ -41,12 +85,40 @@ impl Statevector {
     ///
     /// # Panics
     ///
-    /// Panics if `num_qubits > 30` (the dense representation would not fit).
+    /// Panics if `num_qubits > 30` (the dense representation would not
+    /// fit). For a fallible variant that also survives allocator
+    /// refusals, see [`Statevector::try_zero`].
     pub fn zero(num_qubits: usize) -> Self {
-        assert!(num_qubits <= 30, "dense statevector limited to 30 qubits");
-        let mut amps = vec![C64::ZERO; 1usize << num_qubits];
+        Self::try_zero(num_qubits).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The all-zeros state `|0…0⟩`, or a [`CapacityError`] when the dense
+    /// plane cannot exist: the register exceeds the 30-qubit
+    /// representation limit, or the allocator refuses the reservation
+    /// (`2ⁿ⁺⁴` bytes — checked with [`Vec::try_reserve_exact`] instead of
+    /// aborting the process). Capacity-probing callers — the sharded
+    /// allocator, batch schedulers sizing how many planes fit — branch on
+    /// the error instead of crashing.
+    ///
+    /// ```
+    /// use qsim::Statevector;
+    /// assert_eq!(Statevector::try_zero(3).unwrap().num_qubits(), 3);
+    /// let err = Statevector::try_zero(31).unwrap_err();
+    /// assert_eq!(err.num_qubits(), 31);
+    /// assert_eq!(err.bytes(), 16 << 31);
+    /// ```
+    pub fn try_zero(num_qubits: usize) -> Result<Self, CapacityError> {
+        if num_qubits > 30 {
+            return Err(CapacityError::new(num_qubits));
+        }
+        let dim = 1usize << num_qubits;
+        let mut amps: Vec<C64> = Vec::new();
+        if amps.try_reserve_exact(dim).is_err() {
+            return Err(CapacityError::new(num_qubits));
+        }
+        amps.resize(dim, C64::ZERO);
         amps[0] = C64::ONE;
-        Statevector { num_qubits, amps }
+        Ok(Statevector { num_qubits, amps })
     }
 
     /// Builds a state from raw amplitudes.
@@ -394,15 +466,37 @@ impl Statevector {
     /// [`parallel::num_threads`] scoped threads; being elementwise, the
     /// parallel path is bit-identical to the serial one.
     pub fn probabilities(&self) -> Vec<f64> {
-        let workers = if self.amps.len() >= PROBS_PARALLEL_MIN_AMPS {
-            parallel::num_threads().min(exec::MAX_WORKERS)
-        } else {
-            1
-        };
-        self.probabilities_with(workers)
+        self.probabilities_with(Parallelism::Auto)
     }
 
-    fn probabilities_with(&self, workers: usize) -> Vec<f64> {
+    /// [`Statevector::probabilities`] with an explicit [`Parallelism`]
+    /// choice. Being elementwise, every path is bit-identical; the knob
+    /// exists so callers already running inside a thread fan-out (e.g. a
+    /// batched dispatch) can pin the serial path instead of nesting
+    /// worker scopes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `Parallelism::Threads(0)` is requested.
+    pub fn probabilities_with(&self, mode: Parallelism) -> Vec<f64> {
+        let workers = match mode {
+            Parallelism::Serial => 1,
+            Parallelism::Auto => {
+                if self.amps.len() >= PROBS_PARALLEL_MIN_AMPS {
+                    parallel::num_threads().min(exec::MAX_WORKERS)
+                } else {
+                    1
+                }
+            }
+            Parallelism::Threads(n) => {
+                assert!(n > 0, "Parallelism::Threads needs at least one thread");
+                n.min(exec::MAX_WORKERS)
+            }
+        };
+        self.probabilities_workers(workers)
+    }
+
+    fn probabilities_workers(&self, workers: usize) -> Vec<f64> {
         if workers < 2 {
             return self.amps.iter().map(|a| a.norm_sqr()).collect();
         }
@@ -590,7 +684,7 @@ mod tests {
     fn chunked_probabilities_match_serial() {
         let s = ghz(6);
         for workers in [2usize, 3, 8] {
-            assert_eq!(s.probabilities_with(workers), s.probabilities_with(1));
+            assert_eq!(s.probabilities_workers(workers), s.probabilities_workers(1));
         }
     }
 

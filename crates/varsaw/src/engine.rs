@@ -8,9 +8,9 @@
 use crate::spatial::SpatialPlan;
 use crate::temporal::{GlobalScheduler, TemporalPolicy};
 use mitigation::{mbm_correct, sliding_windows, Pmf, ReconstructionConfig, Reconstructor};
-use pauli::Hamiltonian;
-use qsim::Statevector;
-use vqe::{EfficientSu2, EnergyEvaluator, GroupedHamiltonian, SimExecutor};
+use pauli::{Hamiltonian, PauliString};
+use qsim::{Circuit, Statevector};
+use vqe::{BatchJob, EfficientSu2, EnergyEvaluator, GroupedHamiltonian, SimExecutor};
 
 /// The execute-and-mitigate plumbing shared by [`JigsawEvaluator`] and
 /// [`VarSawEvaluator`]: runs subset/Global circuits (optionally
@@ -51,18 +51,13 @@ impl MitigationPipeline {
         }
     }
 
-    /// Runs a subset circuit: only the subset's support is measured, on
-    /// the best physical qubits.
-    fn run_subset(&mut self, state: &Statevector, basis: &pauli::PauliString) -> Pmf {
-        let pmf = self.executor.run_prepared(state, basis);
-        self.correct(pmf)
-    }
-
-    /// Runs a Global circuit: the full register is measured (maximum
-    /// crosstalk), as in the original program execution.
-    fn run_global(&mut self, state: &Statevector, basis: &pauli::PauliString) -> Pmf {
-        let pmf = self.executor.run_prepared_all(state, basis);
-        self.correct(pmf)
+    /// Runs a whole measurement family (subset and Global circuits) as
+    /// one batched executor dispatch — exactly equivalent to running the
+    /// jobs one by one (see [`SimExecutor::run_batch`]), with MBM applied
+    /// to each result in order.
+    fn run_measurements(&mut self, jobs: &[BatchJob<'_>]) -> Vec<Pmf> {
+        let pmfs = self.executor.run_batch(jobs);
+        pmfs.into_iter().map(|pmf| self.correct(pmf)).collect()
     }
 
     /// Bayesian reconstruction through the persistent engine.
@@ -138,24 +133,60 @@ impl JigsawEvaluator {
     }
 }
 
-impl EnergyEvaluator for JigsawEvaluator {
-    fn evaluate(&mut self, params: &[f64]) -> f64 {
-        let state = self.pipeline.executor.prepare(&self.ansatz.circuit(params));
-        let pipeline = &mut self.pipeline;
-        let pmfs: Vec<Pmf> = self
+impl JigsawEvaluator {
+    /// One objective evaluation against an already-prepared ansatz
+    /// state: every group's Global and subset circuits dispatched as
+    /// **one** executor batch (in the same order sequential execution
+    /// would submit them, so sampling streams match run for run), then
+    /// per-group Bayesian reconstruction.
+    fn evaluate_prepared(&mut self, state: &Statevector) -> f64 {
+        let windows: Vec<Vec<PauliString>> = self
             .grouped
             .groups()
             .iter()
-            .map(|g| {
-                let global = pipeline.run_global(&state, &g.basis);
-                let locals: Vec<Pmf> = sliding_windows(&g.basis, self.window)
+            .map(|g| sliding_windows(&g.basis, self.window))
+            .collect();
+        let mut jobs: Vec<BatchJob<'_>> = Vec::new();
+        for (g, wins) in self.grouped.groups().iter().zip(&windows) {
+            jobs.push(BatchJob::global(state, &g.basis));
+            for w in wins {
+                jobs.push(BatchJob::subset(state, w));
+            }
+        }
+        let pipeline = &mut self.pipeline;
+        let mut results = pipeline.run_measurements(&jobs).into_iter();
+        let pmfs: Vec<Pmf> = windows
+            .iter()
+            .map(|wins| {
+                let global = results.next().expect("one Global per group");
+                let locals: Vec<Pmf> = wins
                     .iter()
-                    .map(|s| pipeline.run_subset(&state, s))
+                    .map(|_| results.next().expect("one PMF per subset"))
                     .collect();
                 pipeline.reconstruct(&global, &locals)
             })
             .collect();
         self.grouped.energy_from_pmfs(&pmfs)
+    }
+}
+
+impl EnergyEvaluator for JigsawEvaluator {
+    fn evaluate(&mut self, params: &[f64]) -> f64 {
+        let state = self.pipeline.executor.prepare(&self.ansatz.circuit(params));
+        self.evaluate_prepared(&state)
+    }
+
+    /// A probe family as one batch: ansatz states prepared together
+    /// against one cached plan ([`SimExecutor::prepare_batch`]), then
+    /// each probe's measurement family dispatched batched, in probe
+    /// order — exactly the sequential results, seed for seed.
+    fn evaluate_batch(&mut self, param_sets: &[&[f64]]) -> Vec<f64> {
+        let circuits: Vec<Circuit> = param_sets.iter().map(|p| self.ansatz.circuit(p)).collect();
+        let states = self.pipeline.executor.prepare_batch(&circuits);
+        states
+            .iter()
+            .map(|state| self.evaluate_prepared(state))
+            .collect()
     }
 
     fn circuits_executed(&self) -> u64 {
@@ -271,18 +302,23 @@ impl VarSawEvaluator {
     }
 }
 
-impl EnergyEvaluator for VarSawEvaluator {
-    fn evaluate(&mut self, params: &[f64]) -> f64 {
-        let state = self.pipeline.executor.prepare(&self.ansatz.circuit(params));
+impl VarSawEvaluator {
+    /// One objective evaluation against an already-prepared ansatz state
+    /// (steps 1–3 of the type-level docs). The reduced subset family —
+    /// and, on Global iterations, the Global family — each go through
+    /// one batched executor dispatch in the order sequential execution
+    /// would submit them.
+    fn evaluate_prepared(&mut self, state: &Statevector) -> f64 {
         let pipeline = &mut self.pipeline;
 
-        // 1. Measurement Subsets: the reduced groups, once each.
-        let subset_pmfs: Vec<Pmf> = self
+        // 1. Measurement Subsets: the reduced groups, one batch.
+        let subset_jobs: Vec<BatchJob<'_>> = self
             .plan
             .subset_groups()
             .iter()
-            .map(|g| pipeline.run_subset(&state, &g.basis))
+            .map(|g| BatchJob::subset(state, &g.basis))
             .collect();
+        let subset_pmfs: Vec<Pmf> = pipeline.run_measurements(&subset_jobs);
 
         // Local PMFs per basis circuit, marginalized out of the groups.
         let n_bases = self.grouped.num_groups();
@@ -311,14 +347,20 @@ impl EnergyEvaluator for VarSawEvaluator {
                 .collect()
         });
         let fresh: Option<Vec<Pmf>> = run_global.then(|| {
-            self.grouped
+            // The fresh Globals as one batch (reconstruction consumes no
+            // randomness, so batching them ahead of the per-group
+            // reconstructions leaves the sampling streams unchanged).
+            let global_jobs: Vec<BatchJob<'_>> = self
+                .grouped
                 .groups()
                 .iter()
+                .map(|g| BatchJob::global(state, &g.basis))
+                .collect();
+            let globals = pipeline.run_measurements(&global_jobs);
+            globals
+                .iter()
                 .enumerate()
-                .map(|(b, g)| {
-                    let global = pipeline.run_global(&state, &g.basis);
-                    pipeline.reconstruct(&global, &locals[b])
-                })
+                .map(|(b, global)| pipeline.reconstruct(global, &locals[b]))
                 .collect()
         });
 
@@ -340,6 +382,26 @@ impl EnergyEvaluator for VarSawEvaluator {
         self.priors = outputs.into_iter().map(Some).collect();
         self.scheduler.advance(run_global);
         energy
+    }
+}
+
+impl EnergyEvaluator for VarSawEvaluator {
+    fn evaluate(&mut self, params: &[f64]) -> f64 {
+        let state = self.pipeline.executor.prepare(&self.ansatz.circuit(params));
+        self.evaluate_prepared(&state)
+    }
+
+    /// A probe family with batched state preparation. The prior-chaining
+    /// and Global-scheduling state advance per probe, in order — exactly
+    /// as sequential evaluation would (preparation consumes no
+    /// randomness), so traces and scheduler decisions are unchanged.
+    fn evaluate_batch(&mut self, param_sets: &[&[f64]]) -> Vec<f64> {
+        let circuits: Vec<Circuit> = param_sets.iter().map(|p| self.ansatz.circuit(p)).collect();
+        let states = self.pipeline.executor.prepare_batch(&circuits);
+        states
+            .iter()
+            .map(|state| self.evaluate_prepared(state))
+            .collect()
     }
 
     fn circuits_executed(&self) -> u64 {

@@ -4,7 +4,10 @@ use crate::basis::basis_rotation;
 use mitigation::Pmf;
 use pauli::PauliString;
 use qnoise::{apply_depolarizing, apply_readout_errors, DeviceModel, ReadoutError};
-use qsim::{Circuit, Parallelism, PlanCache, Statevector};
+use qsim::shard::auto_shard_count;
+use qsim::{
+    Circuit, CircuitPlan, Parallelism, PlanCache, ShardPlan, ShardedState, Sharding, Statevector,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -49,6 +52,7 @@ pub struct SimExecutor {
     circuits_executed: u64,
     exact: bool,
     parallelism: Parallelism,
+    sharding: Sharding,
     /// Compiled-plan cache keyed by circuit structure: SPSA evaluations,
     /// subset/Global measurement rotations and MBM circuits all share the
     /// handful of shapes a VQE run executes, so after the first iteration
@@ -71,6 +75,7 @@ impl SimExecutor {
             circuits_executed: 0,
             exact: false,
             parallelism: Parallelism::Auto,
+            sharding: Sharding::Off,
             plans: PlanCache::new(),
         }
     }
@@ -86,6 +91,7 @@ impl SimExecutor {
             circuits_executed: 0,
             exact: true,
             parallelism: Parallelism::Auto,
+            sharding: Sharding::Off,
             plans: PlanCache::new(),
         }
     }
@@ -118,6 +124,62 @@ impl SimExecutor {
         self.parallelism
     }
 
+    /// Sets how state preparation decomposes the amplitude plane across
+    /// shards (default [`Sharding::Off`]). Sharded execution is
+    /// bit-identical to the dense plane — local ops run shard-parallel,
+    /// global-qubit ops go through explicit exchanges (see
+    /// [`qsim::shard`]) — so this knob never changes results either; it
+    /// exists for registers past the cache (and, eventually, node)
+    /// capacity of one plane. [`Sharding::Auto`] consults the circuit's
+    /// [`qsim::CircuitStats::state_bytes`] estimate and the
+    /// `VARSAW_NUM_SHARDS` override.
+    ///
+    /// ```
+    /// use qnoise::DeviceModel;
+    /// use qsim::Sharding;
+    /// use vqe::SimExecutor;
+    ///
+    /// let exec = SimExecutor::new(DeviceModel::noiseless(2), 128, 1)
+    ///     .with_sharding(Sharding::Auto);
+    /// assert_eq!(exec.sharding(), Sharding::Auto);
+    /// ```
+    pub fn with_sharding(mut self, sharding: Sharding) -> Self {
+        if let Sharding::Shards(s) = sharding {
+            assert!(s.is_power_of_two(), "shard count {s} is not a power of two");
+        }
+        self.sharding = sharding;
+        self
+    }
+
+    /// The sharding mode state preparation uses.
+    pub fn sharding(&self) -> Sharding {
+        self.sharding
+    }
+
+    /// The shard count preparation of `circuit` resolves to.
+    fn resolve_shards(&self, circuit: &Circuit) -> usize {
+        match self.sharding {
+            Sharding::Off => 1,
+            Sharding::Auto => auto_shard_count(&circuit.stats()),
+            Sharding::Shards(s) => s.min(1 << circuit.num_qubits().min(30)),
+        }
+    }
+
+    /// Simulates a compiled plan from `|0…0⟩` on the dense plane or the
+    /// sharded executor. All paths are bit-identical.
+    fn simulate(plan: &CircuitPlan, shards: usize, mode: Parallelism) -> Statevector {
+        if shards > 1 {
+            let sp = ShardPlan::analyze(plan, shards);
+            let mut st = ShardedState::zero(plan.num_qubits(), shards).with_parallelism(mode);
+            st.apply_shard_plan(&sp);
+            st.to_statevector()
+        } else {
+            let mut st = Statevector::zero(plan.num_qubits());
+            st.apply_plan_with(plan, mode);
+            st
+        }
+    }
+
     /// Simulates `circuit` from `|0…0⟩` under this executor's
     /// [`Parallelism`] mode, without measuring or metering cost — the
     /// state-preparation step evaluators run before their measurement
@@ -141,10 +203,52 @@ impl SimExecutor {
     /// assert_eq!(exec.circuits_executed(), 0); // preparation is not metered
     /// ```
     pub fn prepare(&mut self, circuit: &Circuit) -> Statevector {
-        let mut st = Statevector::zero(circuit.num_qubits());
         let plan = self.plans.plan(circuit);
-        st.apply_plan_with(&plan, self.parallelism);
-        st
+        Self::simulate(&plan, self.resolve_shards(circuit), self.parallelism)
+    }
+
+    /// Prepares one state per circuit against the shared [`PlanCache`] —
+    /// the batched twin of [`SimExecutor::prepare`], and the front half
+    /// of a [`SimExecutor::run_batch`] dispatch. Circuits sharing one
+    /// structure (an SPSA ± probe pair, multi-start restarts, a subset
+    /// family) compile once and rebind per entry; on multi-core hosts the
+    /// simulations fan out across [`parallel::num_threads`] workers (each
+    /// pinned serial inside, so the batch is never oversubscribed).
+    ///
+    /// Results are **identical** to calling `prepare` once per circuit,
+    /// in order — preparation consumes no randomness and every execution
+    /// path is bit-identical.
+    ///
+    /// ```
+    /// use qnoise::DeviceModel;
+    /// use qsim::Circuit;
+    /// use vqe::SimExecutor;
+    ///
+    /// let mut exec = SimExecutor::new(DeviceModel::noiseless(2), 16, 1);
+    /// let mut a = Circuit::new(2);
+    /// a.ry(0, 0.3).cx(0, 1);
+    /// let mut b = Circuit::new(2);
+    /// b.ry(0, -1.1).cx(0, 1); // same structure: plan-cache hit
+    /// let states = exec.prepare_batch(&[a, b]);
+    /// assert_eq!(states.len(), 2);
+    /// assert_eq!(exec.plan_cache_stats().2, 1); // one compile, one rebind
+    /// ```
+    pub fn prepare_batch(&mut self, circuits: &[Circuit]) -> Vec<Statevector> {
+        let plans: Vec<(CircuitPlan, usize)> = circuits
+            .iter()
+            .map(|c| (self.plans.plan(c), self.resolve_shards(c)))
+            .collect();
+        if self.parallelism != Parallelism::Serial && plans.len() > 1 && parallel::num_threads() > 1
+        {
+            parallel::parallel_map(plans, |(plan, shards)| {
+                Self::simulate(plan, *shards, Parallelism::Serial)
+            })
+        } else {
+            plans
+                .iter()
+                .map(|(plan, shards)| Self::simulate(plan, *shards, self.parallelism))
+                .collect()
+        }
     }
 
     /// Plan-cache statistics `(structures, hits, misses)` — how often
@@ -245,6 +349,132 @@ impl SimExecutor {
         self.finish(st.marginal_probabilities(measured), measured.to_vec())
     }
 
+    /// Runs a whole family of measurements — SPSA ± probes, a subset
+    /// family, the Globals of an iteration — as **one batched dispatch**,
+    /// returning one PMF per job in order.
+    ///
+    /// Results (and the executor's RNG stream, cost counter, and plan
+    /// cache) are **exactly** those of the equivalent sequence of
+    /// [`SimExecutor::run_prepared`] / [`SimExecutor::run_prepared_all`]
+    /// calls, seed for seed — regression-tested, so batching is always
+    /// safe. What changes is the cost: the batch is *planned* up front
+    /// (rotation plans bound through the cache, measured-qubit sets
+    /// resolved once), the deterministic statevector work runs with a
+    /// reused scratch plane (and fans out across threads on multi-core
+    /// hosts — each job pinned serial inside), full-register reads skip
+    /// the generic marginal bit-gather for the direct probability pass,
+    /// and only the noise + sampling stage — which must consume the RNG
+    /// in job order — stays sequential.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as the equivalent sequential
+    /// calls (identity bases, register/device size mismatches).
+    ///
+    /// ```
+    /// use qnoise::DeviceModel;
+    /// use qsim::Statevector;
+    /// use vqe::{BatchJob, SimExecutor};
+    ///
+    /// let mut exec = SimExecutor::new(DeviceModel::mumbai_like(), 256, 9);
+    /// let state = Statevector::zero(3);
+    /// let zz: pauli::PauliString = "ZZI".parse().unwrap();
+    /// let xx: pauli::PauliString = "IXX".parse().unwrap();
+    /// let pmfs = exec.run_batch(&[
+    ///     BatchJob::global(&state, &zz),
+    ///     BatchJob::subset(&state, &xx),
+    /// ]);
+    /// assert_eq!(pmfs.len(), 2);
+    /// assert_eq!(pmfs[1].qubits(), &[1, 2]);
+    /// assert_eq!(exec.circuits_executed(), 2);
+    /// ```
+    pub fn run_batch(&mut self, jobs: &[BatchJob<'_>]) -> Vec<Pmf> {
+        struct Planned {
+            plan: CircuitPlan,
+            measured: Vec<usize>,
+            /// Whether `measured` is the full register in index order —
+            /// `support()` is ascending, so length alone decides — which
+            /// unlocks the direct probability read.
+            full_register: bool,
+        }
+        let planned: Vec<Planned> = jobs
+            .iter()
+            .map(|job| {
+                let measured: Vec<usize> = if job.measure_all {
+                    (0..job.state.num_qubits()).collect()
+                } else {
+                    job.basis.support()
+                };
+                assert!(
+                    !measured.is_empty(),
+                    "cannot execute a measurement of the identity basis"
+                );
+                let full_register = measured.len() == job.state.num_qubits();
+                Planned {
+                    plan: self.plans.plan(&basis_rotation(job.basis)),
+                    measured,
+                    full_register,
+                }
+            })
+            .collect();
+
+        // Rotate and read one job: bit-identical to `run_prepared`'s
+        // clone + rotate + marginal (the full-register read and the
+        // in-place no-rotation read produce the same bits as the generic
+        // path; `scratch` only recycles the allocation).
+        let read = |job: &BatchJob<'_>,
+                    pl: &Planned,
+                    scratch: &mut Option<Statevector>,
+                    mode: Parallelism|
+         -> Vec<f64> {
+            let rotated: &Statevector = if pl.plan.op_count() == 0 {
+                job.state
+            } else {
+                let st = match scratch {
+                    Some(st) if st.num_qubits() == job.state.num_qubits() => {
+                        st.amplitudes_mut().copy_from_slice(job.state.amplitudes());
+                        st
+                    }
+                    _ => scratch.insert(job.state.clone()),
+                };
+                st.apply_plan_with(&pl.plan, mode);
+                st
+            };
+            if pl.full_register {
+                // `mode` rides along so jobs pinned serial inside the
+                // batch fan-out never nest a second worker scope.
+                rotated.probabilities_with(mode)
+            } else {
+                rotated.marginal_probabilities(&pl.measured)
+            }
+        };
+
+        let probs: Vec<Vec<f64>> = if self.parallelism != Parallelism::Serial
+            && jobs.len() > 1
+            && parallel::num_threads() > 1
+        {
+            let indices: Vec<usize> = (0..jobs.len()).collect();
+            parallel::parallel_map(indices, |&i| {
+                let mut scratch = None;
+                read(&jobs[i], &planned[i], &mut scratch, Parallelism::Serial)
+            })
+        } else {
+            let mut scratch: Option<Statevector> = None;
+            jobs.iter()
+                .zip(&planned)
+                .map(|(job, pl)| read(job, pl, &mut scratch, self.parallelism))
+                .collect()
+        };
+
+        // Noise + sampling consume the RNG in job order: sequential by
+        // construction, exactly as N single runs would.
+        probs
+            .into_iter()
+            .zip(planned)
+            .map(|(p, pl)| self.finish(p, pl.measured))
+            .collect()
+    }
+
     fn finish(&mut self, mut probs: Vec<f64>, measured: Vec<usize>) -> Pmf {
         let m = measured.len();
         assert!(
@@ -271,6 +501,39 @@ impl SimExecutor {
         } else {
             let counts = qsim::sample_counts(&probs, self.shots, &mut self.rng);
             Pmf::new(measured, counts.iter().map(|&c| c as f64).collect())
+        }
+    }
+}
+
+/// One measurement of a batched dispatch: a prepared state and the Pauli
+/// basis to measure it in — see [`SimExecutor::run_batch`].
+#[derive(Clone, Copy, Debug)]
+pub struct BatchJob<'a> {
+    state: &'a Statevector,
+    basis: &'a PauliString,
+    measure_all: bool,
+}
+
+impl<'a> BatchJob<'a> {
+    /// Measure only the basis' support, on the best physical qubits —
+    /// the subset-circuit shape, equivalent to
+    /// [`SimExecutor::run_prepared`].
+    pub fn subset(state: &'a Statevector, basis: &'a PauliString) -> Self {
+        BatchJob {
+            state,
+            basis,
+            measure_all: false,
+        }
+    }
+
+    /// Measure every qubit of the state (identity basis positions read
+    /// in the computational basis) — the Global-circuit shape,
+    /// equivalent to [`SimExecutor::run_prepared_all`].
+    pub fn global(state: &'a Statevector, basis: &'a PauliString) -> Self {
+        BatchJob {
+            state,
+            basis,
+            measure_all: true,
         }
     }
 }
@@ -395,6 +658,115 @@ mod tests {
     fn identity_basis_rejected() {
         let mut exec = SimExecutor::exact(DeviceModel::noiseless(2), 1);
         exec.run_prepared(&Statevector::zero(2), &ps("II"));
+    }
+
+    /// The seed-for-seed regression the batched dispatch is specified
+    /// by: `run_batch` must reproduce N sequential `run_prepared` /
+    /// `run_prepared_all` calls exactly — PMFs, RNG stream, and cost
+    /// counter.
+    #[test]
+    fn run_batch_matches_sequential_runs_seed_for_seed() {
+        let make_exec = || SimExecutor::new(DeviceModel::mumbai_like(), 512, 21);
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).ry(2, 0.6).cx(1, 2);
+        let mut st = Statevector::zero(3);
+        st.apply_circuit(&c);
+        let st2 = Statevector::zero(3);
+        let bases = [ps("ZZI"), ps("XZY"), ps("ZZZ"), ps("IXX")];
+
+        let mut seq = make_exec();
+        let mut expected: Vec<Pmf> = Vec::new();
+        expected.push(seq.run_prepared_all(&st, &bases[0]));
+        expected.push(seq.run_prepared(&st, &bases[1]));
+        expected.push(seq.run_prepared_all(&st2, &bases[2]));
+        expected.push(seq.run_prepared(&st2, &bases[3]));
+        expected.push(seq.run_prepared(&st, &bases[0]));
+
+        let mut batched = make_exec();
+        let got = batched.run_batch(&[
+            BatchJob::global(&st, &bases[0]),
+            BatchJob::subset(&st, &bases[1]),
+            BatchJob::global(&st2, &bases[2]),
+            BatchJob::subset(&st2, &bases[3]),
+            BatchJob::subset(&st, &bases[0]),
+        ]);
+
+        assert_eq!(got.len(), expected.len());
+        for (g, e) in got.iter().zip(&expected) {
+            assert_eq!(g.qubits(), e.qubits());
+            assert_eq!(g.probs(), e.probs(), "batched PMF must match exactly");
+        }
+        assert_eq!(batched.circuits_executed(), seq.circuits_executed());
+        // The RNG streams stayed in lockstep: one more run still agrees.
+        assert_eq!(
+            batched.run_prepared(&st, &bases[1]).probs(),
+            seq.run_prepared(&st, &bases[1]).probs()
+        );
+    }
+
+    #[test]
+    fn run_batch_matches_sequential_in_exact_mode() {
+        let mut c = Circuit::new(3);
+        c.ry(0, 0.4).cx(0, 2);
+        let mut st = Statevector::zero(3);
+        st.apply_circuit(&c);
+        let mut seq = SimExecutor::exact(DeviceModel::uniform(3, 0.05), 1);
+        let mut batched = seq.clone();
+        let bases = [ps("ZIZ"), ps("XYZ")];
+        let expected = [
+            seq.run_prepared_all(&st, &bases[0]),
+            seq.run_prepared(&st, &bases[1]),
+        ];
+        let got = batched.run_batch(&[
+            BatchJob::global(&st, &bases[0]),
+            BatchJob::subset(&st, &bases[1]),
+        ]);
+        for (g, e) in got.iter().zip(&expected) {
+            assert_eq!(g.probs(), e.probs());
+        }
+    }
+
+    #[test]
+    fn prepare_batch_matches_sequential_prepares() {
+        let circuits: Vec<Circuit> = [0.3f64, -1.1, 2.4]
+            .iter()
+            .map(|&t| {
+                let mut c = Circuit::new(3);
+                c.ry(0, t).rz(1, 2.0 * t).cx(0, 1).cx(1, 2);
+                c
+            })
+            .collect();
+        let mut exec = SimExecutor::new(DeviceModel::noiseless(3), 16, 1);
+        let batch = exec.prepare_batch(&circuits);
+        let mut seq_exec = SimExecutor::new(DeviceModel::noiseless(3), 16, 1);
+        for (c, b) in circuits.iter().zip(&batch) {
+            assert_eq!(seq_exec.prepare(c).amplitudes(), b.amplitudes());
+        }
+        // One structure: one compile, two rebinds.
+        assert_eq!(exec.plan_cache_stats(), (1, 2, 1));
+    }
+
+    #[test]
+    fn sharded_preparation_is_bit_identical() {
+        let mut c = Circuit::new(5);
+        for q in 0..5 {
+            c.ry(q, 0.1 + q as f64);
+        }
+        c.cx(0, 1).cx(1, 2).cx(2, 3).cx(3, 4).cz(0, 4);
+        let mut dense = SimExecutor::new(DeviceModel::noiseless(5), 16, 2);
+        let mut sharded =
+            SimExecutor::new(DeviceModel::noiseless(5), 16, 2).with_sharding(Sharding::Shards(4));
+        assert_eq!(
+            dense.prepare(&c).amplitudes(),
+            sharded.prepare(&c).amplitudes()
+        );
+        // And through the measured path, PMFs stay equal too.
+        let st_d = dense.prepare(&c);
+        let st_s = sharded.prepare(&c);
+        assert_eq!(
+            dense.run_prepared(&st_d, &ps("ZZIII")).probs(),
+            sharded.run_prepared(&st_s, &ps("ZZIII")).probs()
+        );
     }
 
     #[test]

@@ -7,8 +7,11 @@
 //!   (full/linear/circular/asymmetric entanglement, depth `p`),
 //! - [`basis_rotation`]: measurement-basis changes (Fig.5),
 //! - [`SimExecutor`]: noisy execution with best-qubit mapping, measurement
-//!   crosstalk, circuit-cost metering and a statevector [`Parallelism`]
-//!   knob,
+//!   crosstalk, circuit-cost metering, statevector [`Parallelism`] and
+//!   [`Sharding`] knobs, and batched dispatch
+//!   ([`SimExecutor::prepare_batch`] / [`SimExecutor::run_batch`]) that
+//!   evaluates whole parameter-set and measurement families against one
+//!   cached circuit plan,
 //! - [`GroupedHamiltonian`]: the baseline's commutation-grouped
 //!   measurement circuits and energy estimation,
 //! - [`Spsa`] / [`ImFil`]: the classical optimizers,
@@ -44,7 +47,7 @@ mod runner;
 pub use ansatz::{EfficientSu2, Entanglement};
 pub use basis::basis_rotation;
 pub use energy::GroupedHamiltonian;
-pub use executor::SimExecutor;
-pub use optimizer::{ImFil, NelderMead, Optimizer, Spsa, StepResult};
-pub use qsim::Parallelism;
+pub use executor::{BatchJob, SimExecutor};
+pub use optimizer::{BatchObjective, ImFil, NelderMead, Optimizer, Spsa, StepResult};
+pub use qsim::{Parallelism, Sharding};
 pub use runner::{run_vqe, BaselineEvaluator, EnergyEvaluator, VqeConfig, VqeTrace};

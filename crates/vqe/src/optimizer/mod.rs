@@ -19,6 +19,27 @@ pub struct StepResult {
     pub mean_objective: f64,
 }
 
+/// An objective that can evaluate several probe points in one dispatch.
+///
+/// The batched entry point exists for objectives backed by a quantum
+/// executor: probe points of one optimizer iteration (SPSA's symmetric ±
+/// pair, a restart population) share circuit structure, so evaluating
+/// them as one batch hits one compiled plan and amortizes per-call
+/// planning (see `SimExecutor::run_batch`). Implementations **must**
+/// make `evaluate_batch` exactly equivalent to sequential `evaluate`
+/// calls in order — same values, same internal RNG advancement — so
+/// optimizers can batch blindly.
+pub trait BatchObjective {
+    /// Measures the objective at one parameter vector.
+    fn evaluate(&mut self, params: &[f64]) -> f64;
+
+    /// Measures the objective at several parameter vectors, in order.
+    /// The default simply loops; batch-capable objectives override it.
+    fn evaluate_batch(&mut self, param_sets: &[&[f64]]) -> Vec<f64> {
+        param_sets.iter().map(|p| self.evaluate(p)).collect()
+    }
+}
+
 /// A derivative-free stochastic optimizer driving the VQA parameter loop.
 ///
 /// Implementations mutate `params` in place using only calls to
@@ -27,6 +48,15 @@ pub struct StepResult {
 pub trait Optimizer {
     /// Performs one tuning iteration.
     fn step(&mut self, params: &mut [f64], objective: &mut dyn FnMut(&[f64]) -> f64) -> StepResult;
+
+    /// Performs one tuning iteration against a batch-capable objective:
+    /// optimizers that probe several points per iteration dispatch them
+    /// as one [`BatchObjective::evaluate_batch`] call (SPSA overrides
+    /// this with its ± pair). The default adapts [`Optimizer::step`], so
+    /// existing optimizers keep their exact behavior.
+    fn step_batch(&mut self, params: &mut [f64], objective: &mut dyn BatchObjective) -> StepResult {
+        self.step(params, &mut |p| objective.evaluate(p))
+    }
 
     /// A short human-readable name ("spsa", "imfil").
     fn name(&self) -> &str;

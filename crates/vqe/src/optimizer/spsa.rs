@@ -5,7 +5,7 @@
 //! symmetric random perturbations — the right cost profile when every
 //! evaluation is a batch of quantum circuits.
 
-use super::{Optimizer, StepResult};
+use super::{BatchObjective, Optimizer, StepResult};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -82,10 +82,17 @@ impl Spsa {
     pub fn iterations(&self) -> usize {
         self.k
     }
-}
 
-impl Optimizer for Spsa {
-    fn step(&mut self, params: &mut [f64], objective: &mut dyn FnMut(&[f64]) -> f64) -> StepResult {
+    /// One SPSA iteration with the ± pair evaluated by `eval_pair` —
+    /// the single body behind both [`Optimizer::step`] (two sequential
+    /// objective calls) and [`Optimizer::step_batch`] (one batched
+    /// dispatch). The perturbation stream is drawn before either
+    /// evaluation, so both entry points consume identical randomness.
+    fn gradient_step(
+        &mut self,
+        params: &mut [f64],
+        eval_pair: &mut dyn FnMut(&[f64], &[f64]) -> (f64, f64),
+    ) -> StepResult {
         let k = self.k as f64;
         let ck = self.c / (k + 1.0).powf(self.gamma);
         let delta: Vec<f64> = (0..params.len())
@@ -98,8 +105,7 @@ impl Optimizer for Spsa {
             plus[i] += ck * delta[i];
             minus[i] -= ck * delta[i];
         }
-        let y_plus = objective(&plus);
-        let y_minus = objective(&minus);
+        let (y_plus, y_minus) = eval_pair(&plus, &minus);
         let diff = y_plus - y_minus;
 
         // Gradient estimate gᵢ = diff / (2·ck·δᵢ).
@@ -119,6 +125,31 @@ impl Optimizer for Spsa {
             evals: 2,
             mean_objective: 0.5 * (y_plus + y_minus),
         }
+    }
+}
+
+impl Optimizer for Spsa {
+    fn step(&mut self, params: &mut [f64], objective: &mut dyn FnMut(&[f64]) -> f64) -> StepResult {
+        self.gradient_step(params, &mut |plus, minus| {
+            (objective(plus), objective(minus))
+        })
+    }
+
+    /// SPSA's two probes are symmetric perturbations of one parameter
+    /// vector — the canonical batch: one `evaluate_batch` dispatch
+    /// evaluates both against one compiled circuit plan. Bit-identical
+    /// to [`Optimizer::step`] whenever the objective honors the
+    /// [`BatchObjective`] equivalence contract.
+    fn step_batch(&mut self, params: &mut [f64], objective: &mut dyn BatchObjective) -> StepResult {
+        self.gradient_step(params, &mut |plus, minus| {
+            let ys = objective.evaluate_batch(&[plus, minus]);
+            assert_eq!(
+                ys.len(),
+                2,
+                "batch objective must return one value per probe"
+            );
+            (ys[0], ys[1])
+        })
     }
 
     fn name(&self) -> &str {
@@ -184,6 +215,37 @@ mod tests {
             .sum::<f64>()
             .sqrt();
         assert!(step_norm < 1.0, "first step too large: {step_norm}");
+    }
+
+    #[test]
+    fn step_batch_matches_step_exactly() {
+        // A counting objective that honors the BatchObjective contract.
+        struct Quadratic {
+            batches: usize,
+        }
+        impl BatchObjective for Quadratic {
+            fn evaluate(&mut self, p: &[f64]) -> f64 {
+                p.iter().map(|v| v * v).sum::<f64>()
+            }
+            fn evaluate_batch(&mut self, sets: &[&[f64]]) -> Vec<f64> {
+                self.batches += 1;
+                sets.iter().map(|p| self.evaluate(p)).collect()
+            }
+        }
+        let mut a = Spsa::new(6);
+        let mut b = Spsa::new(6);
+        let mut xa = vec![1.0, -0.5, 2.0];
+        let mut xb = xa.clone();
+        let mut quad = Quadratic { batches: 0 };
+        for _ in 0..20 {
+            let ra = a.step(&mut xa, &mut |p: &[f64]| {
+                p.iter().map(|v| v * v).sum::<f64>()
+            });
+            let rb = b.step_batch(&mut xb, &mut quad);
+            assert_eq!(ra, rb);
+        }
+        assert_eq!(xa, xb, "parameter trajectories must be bit-identical");
+        assert_eq!(quad.batches, 20, "each iteration is one batch dispatch");
     }
 
     #[test]

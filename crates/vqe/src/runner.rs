@@ -1,11 +1,11 @@
 //! The VQE tuning loop.
 
 use crate::energy::GroupedHamiltonian;
-use crate::executor::SimExecutor;
-use crate::optimizer::Optimizer;
+use crate::executor::{BatchJob, SimExecutor};
+use crate::optimizer::{BatchObjective, Optimizer};
 use mitigation::{mbm_correct, Pmf};
 use pauli::Hamiltonian;
-use qsim::Statevector;
+use qsim::{Circuit, Statevector};
 
 use crate::ansatz::EfficientSu2;
 
@@ -89,8 +89,38 @@ pub trait EnergyEvaluator {
     /// Measures the objective at `params`, executing circuits as needed.
     fn evaluate(&mut self, params: &[f64]) -> f64;
 
+    /// Measures the objective at several parameter vectors — an SPSA ±
+    /// probe pair, a restart population — in order.
+    ///
+    /// Implementations **must** be exactly equivalent to sequential
+    /// [`EnergyEvaluator::evaluate`] calls (same values, same RNG
+    /// advancement, same cost metering); the default simply loops.
+    /// Executor-backed evaluators override this to dispatch the whole
+    /// family through [`SimExecutor::prepare_batch`] /
+    /// [`SimExecutor::run_batch`], which shares one compiled plan per
+    /// circuit structure across the batch.
+    fn evaluate_batch(&mut self, param_sets: &[&[f64]]) -> Vec<f64> {
+        param_sets.iter().map(|p| self.evaluate(p)).collect()
+    }
+
     /// Total circuits executed so far.
     fn circuits_executed(&self) -> u64;
+}
+
+/// Adapts an [`EnergyEvaluator`] to the optimizer-facing
+/// [`BatchObjective`] seam ([`run_vqe`] drives optimizers through
+/// [`Optimizer::step_batch`], so batch-capable evaluators see whole
+/// probe families).
+struct BatchAdapter<'a, E: ?Sized>(&'a mut E);
+
+impl<E: EnergyEvaluator + ?Sized> BatchObjective for BatchAdapter<'_, E> {
+    fn evaluate(&mut self, params: &[f64]) -> f64 {
+        self.0.evaluate(params)
+    }
+
+    fn evaluate_batch(&mut self, param_sets: &[&[f64]]) -> Vec<f64> {
+        self.0.evaluate_batch(param_sets)
+    }
 }
 
 /// The paper's "Baseline": traditional VQA with Pauli-string commutation
@@ -142,25 +172,56 @@ impl BaselineEvaluator {
     }
 }
 
-impl EnergyEvaluator for BaselineEvaluator {
-    fn evaluate(&mut self, params: &[f64]) -> f64 {
-        let state = self.prepare(params);
-        let pmfs: Vec<Pmf> = self
+impl BaselineEvaluator {
+    /// Applies matrix-based mitigation when enabled.
+    fn correct(&mut self, pmf: Pmf) -> Pmf {
+        if self.mbm {
+            let cal = self.executor.calibration(pmf.num_qubits());
+            mbm_correct(&pmf, &cal)
+        } else {
+            pmf
+        }
+    }
+
+    /// The measured energy of one prepared state: every group circuit
+    /// dispatched as one executor batch (identical to running them one
+    /// by one — see [`SimExecutor::run_batch`]).
+    fn measure_prepared(&mut self, state: &Statevector) -> f64 {
+        let jobs: Vec<BatchJob<'_>> = self
             .grouped
             .groups()
             .iter()
-            .map(|g| {
-                // Measure the full register, as Qiskit-style VQE does.
-                let pmf = self.executor.run_prepared_all(&state, &g.basis);
-                if self.mbm {
-                    let cal = self.executor.calibration(pmf.num_qubits());
-                    mbm_correct(&pmf, &cal)
-                } else {
-                    pmf
-                }
-            })
+            // Measure the full register, as Qiskit-style VQE does.
+            .map(|g| BatchJob::global(state, &g.basis))
+            .collect();
+        let pmfs: Vec<Pmf> = self
+            .executor
+            .run_batch(&jobs)
+            .into_iter()
+            .map(|pmf| self.correct(pmf))
             .collect();
         self.grouped.energy_from_pmfs(&pmfs)
+    }
+}
+
+impl EnergyEvaluator for BaselineEvaluator {
+    fn evaluate(&mut self, params: &[f64]) -> f64 {
+        let state = self.prepare(params);
+        self.measure_prepared(&state)
+    }
+
+    /// The SPSA ± pair (or any probe family) as one batch: ansatz states
+    /// prepared through [`SimExecutor::prepare_batch`] against one cached
+    /// plan, then each state's group circuits through the batched
+    /// measurement dispatch, in probe order — exactly the sequential
+    /// results, seed for seed.
+    fn evaluate_batch(&mut self, param_sets: &[&[f64]]) -> Vec<f64> {
+        let circuits: Vec<Circuit> = param_sets.iter().map(|p| self.ansatz.circuit(p)).collect();
+        let states = self.executor.prepare_batch(&circuits);
+        states
+            .iter()
+            .map(|state| self.measure_prepared(state))
+            .collect()
     }
 
     fn circuits_executed(&self) -> u64 {
@@ -202,7 +263,11 @@ pub fn run_vqe<E: EnergyEvaluator + ?Sized, O: Optimizer + ?Sized>(
                 break;
             }
         }
-        let step = optimizer.step(&mut params, &mut |p| evaluator.evaluate(p));
+        // step_batch lets probe-family optimizers (SPSA's ± pair) hand
+        // the evaluator whole batches; evaluate_batch implementations
+        // are exactly equivalent to sequential evaluation, so traces are
+        // unchanged seed for seed.
+        let step = optimizer.step_batch(&mut params, &mut BatchAdapter(evaluator));
         trace.energies.push(step.mean_objective);
         trace.circuits.push(evaluator.circuits_executed());
     }
