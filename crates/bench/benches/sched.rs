@@ -1,0 +1,111 @@
+//! Scheduler throughput: jobs/second through `sched::JobQueue` at mixed
+//! register sizes, against the zero-overhead bound of running the same
+//! jobs back-to-back on bare sequential executors.
+//!
+//! Pairs to compare (CI archives them as `BENCH_sched.json`):
+//!
+//! - `mixed_8q_10q_sequential` vs `mixed_8q_10q_queue_{w}w`: 12 jobs —
+//!   two tenants, alternating 8- and 10-qubit EfficientSU2 ansätze, one
+//!   subset measurement each — run bare versus submitted, drained and
+//!   awaited through the queue at 1 and 4 workers. The 1-worker ratio is
+//!   the queue's bookkeeping overhead (admission, fair-queueing,
+//!   completion slots); the 4-worker point is the fan-out win. Results
+//!   are bit-identical on every side, so the comparison is pure
+//!   scheduling cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qnoise::DeviceModel;
+use qsim::Parallelism;
+use sched::{job_seed, JobQueue, JobSpec, Measurement};
+use vqe::{EfficientSu2, Entanglement, SimExecutor};
+
+const SHOTS: u64 = 256;
+const ROOT_SEED: u64 = 9;
+
+/// The benchmark's job mix: 12 jobs across two tenants, alternating 8-
+/// and 10-qubit registers, fresh angles per job (same two structures).
+fn job_mix() -> Vec<JobSpec> {
+    (0..12u64)
+        .map(|i| {
+            let n = if i % 2 == 0 { 8 } else { 10 };
+            let ansatz = EfficientSu2::new(n, 2, Entanglement::Linear);
+            let circuit = ansatz.circuit(&ansatz.initial_parameters(i));
+            let basis: pauli::PauliString = "ZZ".repeat(n / 2).parse().unwrap();
+            JobSpec {
+                job_id: i,
+                tenant: i % 2,
+                circuit,
+                measurements: vec![Measurement::subset(basis)],
+            }
+        })
+        .collect()
+}
+
+/// One bare sequential pass over the mix — the reference the queue's
+/// results are bit-identical to, and the zero-overhead throughput bound.
+fn run_sequential(device: &DeviceModel, specs: &[JobSpec]) -> f64 {
+    let mut acc = 0.0;
+    for spec in specs {
+        let mut exec = SimExecutor::new(device.clone(), SHOTS, job_seed(ROOT_SEED, spec.job_id))
+            .with_parallelism(Parallelism::Serial);
+        let state = exec.prepare(&spec.circuit);
+        for m in &spec.measurements {
+            acc += exec.run_prepared(&state, &m.basis).probs()[0];
+        }
+    }
+    acc
+}
+
+/// The same mix through the queue: submit everything, drain with
+/// `workers`, wait every handle.
+fn run_queue(device: &DeviceModel, specs: &[JobSpec], workers: usize) -> f64 {
+    let queue = JobQueue::new(device.clone(), SHOTS, ROOT_SEED).with_workers(workers);
+    let handles: Vec<_> = specs
+        .iter()
+        .map(|s| queue.submit(s.clone()).unwrap())
+        .collect();
+    queue.drain();
+    handles
+        .iter()
+        .map(|h| h.wait().unwrap().pmfs[0].probs()[0])
+        .sum()
+}
+
+fn bench_sched_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sched");
+    let device = DeviceModel::mumbai_like();
+    let specs = job_mix();
+    println!(
+        "bench sched mixed_8q_10q: {} jobs, 2 tenants, shots={SHOTS}",
+        specs.len()
+    );
+
+    // The results must agree bit for bit before timing means anything.
+    let reference = run_sequential(&device, &specs);
+    for workers in [1usize, 4] {
+        assert_eq!(run_queue(&device, &specs, workers), reference);
+    }
+    g.bench_function("mixed_8q_10q_sequential", |b| {
+        b.iter(|| std::hint::black_box(run_sequential(&device, &specs)))
+    });
+    for workers in [1usize, 4] {
+        g.bench_function(format!("mixed_8q_10q_queue_{workers}w"), |b| {
+            b.iter(|| std::hint::black_box(run_queue(&device, &specs, workers)))
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(2500))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = sched_group;
+    config = config();
+    targets = bench_sched_throughput
+}
+criterion_main!(sched_group);

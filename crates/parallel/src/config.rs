@@ -1,13 +1,16 @@
 //! Process-wide execution configuration, read from the environment once.
 //!
-//! Two knobs control how the workspace's engines spread work:
+//! Three knobs control how the workspace's engines spread work:
 //!
 //! - [`NUM_THREADS_ENV`] (`VARSAW_NUM_THREADS`): the worker-thread count
 //!   behind [`crate::num_threads`], shared by the statevector engine, the
 //!   reconstruction engine and [`crate::parallel_map`];
 //! - [`NUM_SHARDS_ENV`] (`VARSAW_NUM_SHARDS`): an override for the
 //!   amplitude-plane shard count behind [`crate::num_shards`], consulted
-//!   by `qsim::shard`'s auto-sizing heuristic.
+//!   by `qsim::shard`'s auto-sizing heuristic;
+//! - [`SCHED_WORKERS_ENV`] (`VARSAW_SCHED_WORKERS`): an override for the
+//!   job-scheduler worker count behind [`crate::sched_workers`], consulted
+//!   by `sched::JobQueue` when no explicit worker count is passed.
 //!
 //! Earlier revisions re-parsed `VARSAW_NUM_THREADS` at every call site,
 //! which both repeated the work on hot paths and silently swallowed
@@ -40,6 +43,11 @@ pub const NUM_THREADS_ENV: &str = "VARSAW_NUM_THREADS";
 /// the granularity the shard decomposition supports.
 pub const NUM_SHARDS_ENV: &str = "VARSAW_NUM_SHARDS";
 
+/// Environment variable overriding the job-scheduler worker count (the
+/// threads `sched::JobQueue` drains with when the caller does not pass an
+/// explicit count). Unset means "follow [`NUM_THREADS_ENV`]".
+pub const SCHED_WORKERS_ENV: &str = "VARSAW_SCHED_WORKERS";
+
 /// Hard upper bound on the worker count (sanity cap for typos in the
 /// environment variable).
 pub const MAX_THREADS: usize = 64;
@@ -56,6 +64,9 @@ pub struct Config {
     /// Amplitude-plane shard-count override (a power of two), or `None`
     /// to let engines size shards automatically; from [`NUM_SHARDS_ENV`].
     pub shards: Option<usize>,
+    /// Job-scheduler worker-count override, or `None` to follow
+    /// [`Config::threads`]; from [`SCHED_WORKERS_ENV`].
+    pub sched_workers: Option<usize>,
 }
 
 impl Config {
@@ -65,6 +76,7 @@ impl Config {
     fn resolve(
         threads_raw: Option<&str>,
         shards_raw: Option<&str>,
+        sched_raw: Option<&str>,
         default_threads: usize,
     ) -> (Config, Vec<String>) {
         let mut warnings = Vec::new();
@@ -99,7 +111,24 @@ impl Config {
             None => None,
         };
 
-        (Config { threads, shards }, warnings)
+        let sched_workers = match parse_count(SCHED_WORKERS_ENV, sched_raw, &mut warnings) {
+            Some(n) if n > MAX_THREADS => {
+                warnings.push(format!(
+                    "{SCHED_WORKERS_ENV}={n} exceeds the cap of {MAX_THREADS}; using {MAX_THREADS}"
+                ));
+                Some(MAX_THREADS)
+            }
+            other => other,
+        };
+
+        (
+            Config {
+                threads,
+                shards,
+                sched_workers,
+            },
+            warnings,
+        )
     }
 }
 
@@ -130,12 +159,14 @@ pub fn get() -> &'static Config {
     CONFIG.get_or_init(|| {
         let threads_raw = std::env::var(NUM_THREADS_ENV).ok();
         let shards_raw = std::env::var(NUM_SHARDS_ENV).ok();
+        let sched_raw = std::env::var(SCHED_WORKERS_ENV).ok();
         let default_threads = std::thread::available_parallelism()
             .map(|p| p.get())
             .unwrap_or(1);
         let (config, warnings) = Config::resolve(
             threads_raw.as_deref(),
             shards_raw.as_deref(),
+            sched_raw.as_deref(),
             default_threads,
         );
         for w in &warnings {
@@ -150,32 +181,28 @@ mod tests {
     use super::*;
 
     fn resolve(threads: Option<&str>, shards: Option<&str>) -> (Config, Vec<String>) {
-        Config::resolve(threads, shards, 4)
+        Config::resolve(threads, shards, None, 4)
+    }
+
+    fn defaults() -> Config {
+        Config {
+            threads: 4,
+            shards: None,
+            sched_workers: None,
+        }
     }
 
     #[test]
     fn unset_values_use_defaults_without_warnings() {
         let (c, w) = resolve(None, None);
-        assert_eq!(
-            c,
-            Config {
-                threads: 4,
-                shards: None
-            }
-        );
+        assert_eq!(c, defaults());
         assert!(w.is_empty());
     }
 
     #[test]
     fn empty_values_count_as_unset() {
         let (c, w) = resolve(Some(""), Some("  "));
-        assert_eq!(
-            c,
-            Config {
-                threads: 4,
-                shards: None
-            }
-        );
+        assert_eq!(c, defaults());
         assert!(w.is_empty());
     }
 
@@ -186,7 +213,8 @@ mod tests {
             c,
             Config {
                 threads: 3,
-                shards: Some(8)
+                shards: Some(8),
+                sched_workers: None
             }
         );
         assert!(w.is_empty());
@@ -195,13 +223,7 @@ mod tests {
     #[test]
     fn invalid_values_are_reported_not_silently_defaulted() {
         let (c, w) = resolve(Some("fast"), Some("many"));
-        assert_eq!(
-            c,
-            Config {
-                threads: 4,
-                shards: None
-            }
-        );
+        assert_eq!(c, defaults());
         assert_eq!(w.len(), 2, "one warning per rejected variable: {w:?}");
         assert!(w[0].contains(NUM_THREADS_ENV), "{w:?}");
         assert!(w[1].contains(NUM_SHARDS_ENV), "{w:?}");
@@ -210,13 +232,7 @@ mod tests {
     #[test]
     fn zero_is_rejected_with_a_warning() {
         let (c, w) = resolve(Some("0"), Some("0"));
-        assert_eq!(
-            c,
-            Config {
-                threads: 4,
-                shards: None
-            }
-        );
+        assert_eq!(c, defaults());
         assert_eq!(w.len(), 2);
     }
 
@@ -238,9 +254,23 @@ mod tests {
 
     #[test]
     fn default_threads_are_clamped_to_the_cap() {
-        let (c, _) = Config::resolve(None, None, 1000);
+        let (c, _) = Config::resolve(None, None, None, 1000);
         assert_eq!(c.threads, MAX_THREADS);
-        let (c, _) = Config::resolve(None, None, 0);
+        let (c, _) = Config::resolve(None, None, None, 0);
         assert_eq!(c.threads, 1);
+    }
+
+    #[test]
+    fn sched_workers_parse_and_cap() {
+        let (c, w) = Config::resolve(None, None, Some("3"), 4);
+        assert_eq!(c.sched_workers, Some(3));
+        assert!(w.is_empty());
+        let (c, w) = Config::resolve(None, None, Some("9999"), 4);
+        assert_eq!(c.sched_workers, Some(MAX_THREADS));
+        assert_eq!(w.len(), 1);
+        assert!(w[0].contains(SCHED_WORKERS_ENV), "{w:?}");
+        let (c, w) = Config::resolve(None, None, Some("zero"), 4);
+        assert_eq!(c.sched_workers, None);
+        assert_eq!(w.len(), 1);
     }
 }

@@ -39,7 +39,7 @@
 
 pub mod config;
 
-pub use config::{MAX_SHARDS, MAX_THREADS, NUM_SHARDS_ENV, NUM_THREADS_ENV};
+pub use config::{MAX_SHARDS, MAX_THREADS, NUM_SHARDS_ENV, NUM_THREADS_ENV, SCHED_WORKERS_ENV};
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -107,6 +107,27 @@ pub fn num_threads() -> usize {
 /// ```
 pub fn num_shards() -> Option<usize> {
     config::get().shards
+}
+
+/// The worker count job schedulers should drain with: the
+/// `VARSAW_SCHED_WORKERS` override when set, otherwise [`num_threads`].
+///
+/// Resolved once per process alongside the other knobs (see [`config`]).
+/// Scheduler workers are a *concurrency* choice, not a correctness one —
+/// `sched::JobQueue` results are bit-identical for any worker count — so
+/// the override exists to decouple queue draining from the statevector
+/// engine's thread count (e.g. many serial jobs side by side instead of
+/// one threaded job at a time).
+///
+/// # Examples
+///
+/// ```
+/// // Unset in this process: follows the engine thread count.
+/// assert_eq!(parallel::sched_workers(), parallel::num_threads());
+/// ```
+pub fn sched_workers() -> usize {
+    let config = config::get();
+    config.sched_workers.unwrap_or(config.threads)
 }
 
 /// The contiguous index range worker `w` of `workers` owns in `0..len`.

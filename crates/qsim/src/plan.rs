@@ -56,7 +56,7 @@ use crate::circuit::Circuit;
 use crate::complex::C64;
 use crate::gate::Gate;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// One lowered operation of a compiled plan. Two-qubit symmetric gates
 /// store sorted qubits so the execution kernels never re-sort.
@@ -478,28 +478,46 @@ pub(crate) enum ShardStep {
 /// ```
 #[derive(Clone, Debug)]
 pub struct ShardPlan {
+    analysis: Arc<ShardAnalysis>,
+    steps: Vec<ShardStep>,
+}
+
+/// One slot of a [`ShardAnalysis`]: an execution step recorded as
+/// *indices into the source plan's op list* instead of bound ops, so one
+/// analysis can be rebound to any plan with the same op structure
+/// (same kinds and wiring, different rotation matrices).
+#[derive(Clone, Debug)]
+enum ShardSlot {
+    /// A maximal run of shard-local ops.
+    Local(Vec<u32>),
+    /// One pairwise-exchange op.
+    Exchange(u32),
+    /// One plane-swap op.
+    PlaneSwap(u32),
+}
+
+/// The parameter-free half of a [`ShardPlan`]: the qubit layout, the
+/// step segmentation (as op indices) and the step counts. Depends only
+/// on the plan's op *structure* — kinds and qubit wiring, never rotation
+/// matrices — so a [`PlanCache`] memoizes it per (structure, shard
+/// count) and rebinding new angles skips the whole analysis
+/// ([`PlanCache::shard_plan`]).
+#[derive(Debug)]
+pub(crate) struct ShardAnalysis {
     num_qubits: usize,
     shards: usize,
     local_bits: usize,
     layout: Vec<usize>,
-    steps: Vec<ShardStep>,
+    slots: Vec<ShardSlot>,
     local_ops: usize,
     exchange_ops: usize,
     plane_swaps: usize,
 }
 
-impl ShardPlan {
-    /// Analyzes `plan` for execution on `shards` shards, choosing the
-    /// qubit layout that minimizes exchange steps: each qubit's
-    /// pair-reaching op count is tallied, and the qubits touched least
-    /// take the global (top) bit positions. Ties prefer the identity
-    /// layout.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `shards` is not a power of two or exceeds the plan's
-    /// amplitude count.
-    pub fn analyze(plan: &CircuitPlan, shards: usize) -> ShardPlan {
+impl ShardAnalysis {
+    /// Runs the layout analysis on `plan`'s op structure — see
+    /// [`ShardPlan::analyze`] for the policy.
+    fn analyze(plan: &CircuitPlan, shards: usize) -> ShardAnalysis {
         let local_bits = check_shards(plan.num_qubits(), shards);
         let n = plan.num_qubits();
         // Pair-reaching touches per qubit: the ops that would become
@@ -534,7 +552,112 @@ impl ShardPlan {
         for (slot, &q) in globals.iter().enumerate() {
             layout[q] = local_bits + slot;
         }
-        Self::build(plan, shards, local_bits, layout)
+        Self::segment(plan, shards, local_bits, layout)
+    }
+
+    /// Classifies every (layout-remapped) op and coalesces local runs,
+    /// recording op indices rather than bound ops.
+    fn segment(
+        plan: &CircuitPlan,
+        shards: usize,
+        local_bits: usize,
+        layout: Vec<usize>,
+    ) -> ShardAnalysis {
+        let mut slots: Vec<ShardSlot> = Vec::new();
+        let (mut local_ops, mut exchange_ops, mut plane_swaps) = (0, 0, 0);
+        for (i, op) in plan.ops().iter().enumerate() {
+            let op = remap_op(op, &layout);
+            let i = i as u32;
+            match op_locality(&op, local_bits) {
+                OpLocality::Local => {
+                    local_ops += 1;
+                    if let Some(ShardSlot::Local(run)) = slots.last_mut() {
+                        run.push(i);
+                    } else {
+                        slots.push(ShardSlot::Local(vec![i]));
+                    }
+                }
+                OpLocality::Exchange => {
+                    exchange_ops += 1;
+                    slots.push(ShardSlot::Exchange(i));
+                }
+                OpLocality::PlaneSwap => {
+                    plane_swaps += 1;
+                    slots.push(ShardSlot::PlaneSwap(i));
+                }
+            }
+        }
+        ShardAnalysis {
+            num_qubits: plan.num_qubits(),
+            shards,
+            local_bits,
+            layout,
+            slots,
+            local_ops,
+            exchange_ops,
+            plane_swaps,
+        }
+    }
+
+    /// Binds `plan`'s concrete ops into this analysis' slots. Caller
+    /// guarantees the op structures match ([`shard_key`] equality).
+    fn bind(self: &Arc<Self>, plan: &CircuitPlan) -> ShardPlan {
+        let ops = plan.ops();
+        let remap = |i: u32| remap_op(&ops[i as usize], &self.layout);
+        let steps = self
+            .slots
+            .iter()
+            .map(|slot| match slot {
+                ShardSlot::Local(run) => ShardStep::Local(run.iter().map(|&i| remap(i)).collect()),
+                ShardSlot::Exchange(i) => ShardStep::Exchange(remap(*i)),
+                ShardSlot::PlaneSwap(i) => ShardStep::PlaneSwap(remap(*i)),
+            })
+            .collect();
+        ShardPlan {
+            analysis: Arc::clone(self),
+            steps,
+        }
+    }
+}
+
+/// The memoization key of a [`ShardAnalysis`]: the plan's qubit count
+/// followed by one kind+wiring word per *lowered op*. Keyed on the op
+/// list rather than the source circuit so fused and unfused plans of one
+/// circuit — same circuit structure, different op segmentation — never
+/// share an entry.
+fn shard_key(plan: &CircuitPlan) -> Vec<u64> {
+    let mut key = Vec::with_capacity(plan.op_count() + 1);
+    key.push(plan.num_qubits() as u64);
+    key.extend(plan.ops().iter().map(|op| {
+        let (tag, a, b): (u64, usize, usize) = match *op {
+            PlanOp::OneQ { q, .. } => (1, q, 0),
+            PlanOp::Cx { control, target } => (2, control, target),
+            PlanOp::Cz { lo, hi } => (3, lo, hi),
+            PlanOp::Swap { lo, hi } => (4, lo, hi),
+        };
+        (tag << 48) | ((a as u64) << 24) | b as u64
+    }));
+    key
+}
+
+impl ShardPlan {
+    /// Analyzes `plan` for execution on `shards` shards, choosing the
+    /// qubit layout that minimizes exchange steps: each qubit's
+    /// pair-reaching op count is tallied, and the qubits touched least
+    /// take the global (top) bit positions. Ties prefer the identity
+    /// layout.
+    ///
+    /// The analysis half (layout + step segmentation) is parameter-free;
+    /// executors re-running one ansatz shape should route through
+    /// [`PlanCache::shard_plan`], which memoizes it and only rebinds the
+    /// op matrices per call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is not a power of two or exceeds the plan's
+    /// amplitude count.
+    pub fn analyze(plan: &CircuitPlan, shards: usize) -> ShardPlan {
+        Arc::new(ShardAnalysis::analyze(plan, shards)).bind(plan)
     }
 
     /// Analyzes `plan` under a caller-pinned qubit layout
@@ -548,87 +671,52 @@ impl ShardPlan {
     pub fn with_layout(plan: &CircuitPlan, shards: usize, layout: &[usize]) -> ShardPlan {
         let local_bits = check_shards(plan.num_qubits(), shards);
         check_layout(plan.num_qubits(), layout);
-        Self::build(plan, shards, local_bits, layout.to_vec())
-    }
-
-    fn build(
-        plan: &CircuitPlan,
-        shards: usize,
-        local_bits: usize,
-        layout: Vec<usize>,
-    ) -> ShardPlan {
-        let mut steps: Vec<ShardStep> = Vec::new();
-        let (mut local_ops, mut exchange_ops, mut plane_swaps) = (0, 0, 0);
-        for op in plan.ops() {
-            let op = remap_op(op, &layout);
-            match op_locality(&op, local_bits) {
-                OpLocality::Local => {
-                    local_ops += 1;
-                    if let Some(ShardStep::Local(run)) = steps.last_mut() {
-                        run.push(op);
-                    } else {
-                        steps.push(ShardStep::Local(vec![op]));
-                    }
-                }
-                OpLocality::Exchange => {
-                    exchange_ops += 1;
-                    steps.push(ShardStep::Exchange(op));
-                }
-                OpLocality::PlaneSwap => {
-                    plane_swaps += 1;
-                    steps.push(ShardStep::PlaneSwap(op));
-                }
-            }
-        }
-        ShardPlan {
-            num_qubits: plan.num_qubits(),
+        Arc::new(ShardAnalysis::segment(
+            plan,
             shards,
             local_bits,
-            layout,
-            steps,
-            local_ops,
-            exchange_ops,
-            plane_swaps,
-        }
+            layout.to_vec(),
+        ))
+        .bind(plan)
     }
 
     /// The number of qubits the plan acts on.
     pub fn num_qubits(&self) -> usize {
-        self.num_qubits
+        self.analysis.num_qubits
     }
 
     /// The shard count the analysis targets.
     pub fn num_shards(&self) -> usize {
-        self.shards
+        self.analysis.shards
     }
 
     /// The number of amplitude-index bits local to one shard
     /// (`num_qubits − log2(num_shards)`).
     pub fn local_bits(&self) -> usize {
-        self.local_bits
+        self.analysis.local_bits
     }
 
     /// The qubit layout: `layout()[q]` is the physical bit position
     /// logical qubit `q` occupies during sharded execution. Positions
     /// `>= local_bits()` select the shard index.
     pub fn layout(&self) -> &[usize] {
-        &self.layout
+        &self.analysis.layout
     }
 
     /// Ops executed shard-locally with no communication.
     pub fn local_count(&self) -> usize {
-        self.local_ops
+        self.analysis.local_ops
     }
 
     /// Ops executed as elementwise pairwise shard exchanges — the
     /// communication cost the layout remap minimizes.
     pub fn exchange_count(&self) -> usize {
-        self.exchange_ops
+        self.analysis.exchange_ops
     }
 
     /// Ops executed as O(1) shard-handle swaps (no amplitude traffic).
     pub fn plane_swap_count(&self) -> usize {
-        self.plane_swaps
+        self.analysis.plane_swaps
     }
 
     /// The execution steps, for the sharded kernels.
@@ -722,6 +810,11 @@ pub struct PlanCache {
     structures: HashMap<Vec<u64>, Arc<PlanStructure>>,
     hits: u64,
     misses: u64,
+    /// Sharded-execution analyses, keyed by (op structure, shard count) —
+    /// see [`PlanCache::shard_plan`].
+    shard_analyses: HashMap<(Vec<u64>, usize), Arc<ShardAnalysis>>,
+    shard_hits: u64,
+    shard_misses: u64,
 }
 
 impl PlanCache {
@@ -745,6 +838,45 @@ impl PlanCache {
         plan
     }
 
+    /// The [`ShardPlan`] for executing `plan` on `shards` shards,
+    /// rebinding a memoized shard analysis when one matches and
+    /// analyzing (and caching) otherwise. Bit-identical to
+    /// [`ShardPlan::analyze`] — the analysis depends only on op kinds
+    /// and wiring, so a rebound plan of the same shape reuses the layout
+    /// and step segmentation verbatim.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`ShardPlan::analyze`].
+    ///
+    /// ```
+    /// use qsim::{Circuit, PlanCache};
+    ///
+    /// let mut cache = PlanCache::new();
+    /// let make = |t: f64| {
+    ///     let mut c = Circuit::new(4);
+    ///     c.ry(0, t).cx(0, 1).cx(1, 2).cx(2, 3);
+    ///     c
+    /// };
+    /// let a = cache.plan(&make(0.1));
+    /// let b = cache.plan(&make(0.9));
+    /// cache.shard_plan(&a, 2);
+    /// cache.shard_plan(&b, 2); // same shape: analysis reused
+    /// assert_eq!(cache.shard_stats(), (1, 1));
+    /// ```
+    pub fn shard_plan(&mut self, plan: &CircuitPlan, shards: usize) -> ShardPlan {
+        let key = (shard_key(plan), shards);
+        if let Some(analysis) = self.shard_analyses.get(&key) {
+            self.shard_hits += 1;
+            return analysis.bind(plan);
+        }
+        self.shard_misses += 1;
+        let analysis = Arc::new(ShardAnalysis::analyze(plan, shards));
+        let sp = analysis.bind(plan);
+        self.shard_analyses.insert(key, analysis);
+        sp
+    }
+
     /// The number of distinct circuit structures cached.
     pub fn len(&self) -> usize {
         self.structures.len()
@@ -763,6 +895,105 @@ impl PlanCache {
     /// Structure-cache misses so far (full compilations).
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Shard-analysis cache counters `(hits, misses)` — how often
+    /// [`PlanCache::shard_plan`] rebound a memoized layout instead of
+    /// re-analyzing.
+    pub fn shard_stats(&self) -> (u64, u64) {
+        (self.shard_hits, self.shard_misses)
+    }
+}
+
+/// A [`PlanCache`] behind `Arc<Mutex<…>>`: the compiled-plan sharing seam
+/// for concurrent executors. Tenants of a job scheduler running the same
+/// ansatz family hit each other's structures — the second tenant's
+/// submission rebinds the first one's analysis instead of compiling.
+///
+/// Cloning is cheap and shares the underlying cache. The lock is held
+/// only for the cache lookup/insert; matrix binding happens outside it.
+///
+/// ```
+/// use qsim::{Circuit, SharedPlanCache};
+///
+/// let shared = SharedPlanCache::new();
+/// let elsewhere = shared.clone(); // same cache
+/// let mut c = Circuit::new(2);
+/// c.ry(0, 0.4).cx(0, 1);
+/// shared.plan(&c);
+/// let mut c2 = Circuit::new(2);
+/// c2.ry(0, -1.3).cx(0, 1);
+/// elsewhere.plan(&c2); // same structure: a hit through the other handle
+/// let (structures, hits, misses) = shared.stats();
+/// assert_eq!((structures, hits, misses), (1, 1, 1));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SharedPlanCache {
+    inner: Arc<Mutex<PlanCache>>,
+}
+
+impl SharedPlanCache {
+    /// An empty shared cache.
+    pub fn new() -> Self {
+        SharedPlanCache::default()
+    }
+
+    /// Locks the cache, recovering from a poisoned lock: the cache holds
+    /// only memoized analyses, which stay valid even if a panicking
+    /// thread abandoned the lock mid-insert.
+    fn lock(&self) -> std::sync::MutexGuard<'_, PlanCache> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The plan for `circuit` — [`PlanCache::plan`] under the lock, with
+    /// the matrix binding done outside it.
+    pub fn plan(&self, circuit: &Circuit) -> CircuitPlan {
+        let structure = {
+            let mut cache = self.lock();
+            let key = structure_key(circuit);
+            if let Some(structure) = cache.structures.get(&key).map(Arc::clone) {
+                cache.hits += 1;
+                structure
+            } else {
+                cache.misses += 1;
+                let structure = Arc::new(PlanStructure::analyze(circuit));
+                cache.structures.insert(key, Arc::clone(&structure));
+                structure
+            }
+        };
+        structure.bind(circuit)
+    }
+
+    /// The sharded-execution plan for `plan` — [`PlanCache::shard_plan`]
+    /// under the lock, with the op binding done outside it.
+    pub fn shard_plan(&self, plan: &CircuitPlan, shards: usize) -> ShardPlan {
+        let analysis = {
+            let mut cache = self.lock();
+            let key = (shard_key(plan), shards);
+            if let Some(analysis) = cache.shard_analyses.get(&key).map(Arc::clone) {
+                cache.shard_hits += 1;
+                analysis
+            } else {
+                cache.shard_misses += 1;
+                let analysis = Arc::new(ShardAnalysis::analyze(plan, shards));
+                cache.shard_analyses.insert(key, Arc::clone(&analysis));
+                analysis
+            }
+        };
+        analysis.bind(plan)
+    }
+
+    /// Cache statistics `(structures, hits, misses)`, mirroring the
+    /// executor-level `plan_cache_stats`.
+    pub fn stats(&self) -> (usize, u64, u64) {
+        let cache = self.lock();
+        (cache.len(), cache.hits(), cache.misses())
+    }
+
+    /// Shard-analysis counters `(hits, misses)` — see
+    /// [`PlanCache::shard_stats`].
+    pub fn shard_stats(&self) -> (u64, u64) {
+        self.lock().shard_stats()
     }
 }
 
@@ -998,6 +1229,89 @@ mod tests {
             structure_code(Gate::Swap(2, 5)),
             structure_code(Gate::Swap(5, 2))
         );
+    }
+
+    /// The satellite regression for shard-analysis memoization: a cached
+    /// analysis rebound to new angles must equal a fresh
+    /// [`ShardPlan::analyze`] in layout, step segmentation, counts, and
+    /// the executed amplitudes (bit for bit).
+    #[test]
+    fn cached_shard_plan_rebind_equals_fresh_analysis() {
+        let make = |t: f64| {
+            let mut c = Circuit::new(5);
+            c.ry(4, t)
+                .cx(4, 0)
+                .rz(4, 2.0 * t)
+                .cx(4, 1)
+                .ry(0, -t)
+                .swap(1, 2);
+            c
+        };
+        let mut cache = PlanCache::new();
+        let first = cache.plan(&make(0.3));
+        cache.shard_plan(&first, 4); // populate the analysis cache
+        let rebound_plan = cache.plan(&make(-1.7));
+        let cached = cache.shard_plan(&rebound_plan, 4);
+        let fresh = ShardPlan::analyze(&rebound_plan, 4);
+        assert_eq!(cache.shard_stats(), (1, 1));
+        assert_eq!(cached.layout(), fresh.layout());
+        assert_eq!(cached.local_count(), fresh.local_count());
+        assert_eq!(cached.exchange_count(), fresh.exchange_count());
+        assert_eq!(cached.plane_swap_count(), fresh.plane_swap_count());
+        let run = |sp: &ShardPlan| {
+            let mut st = crate::ShardedState::zero(5, 4);
+            st.apply_shard_plan(sp);
+            st.to_statevector()
+        };
+        assert_eq!(
+            run(&cached).amplitudes(),
+            run(&fresh).amplitudes(),
+            "rebound analysis must execute bit-identically to a fresh one"
+        );
+    }
+
+    #[test]
+    fn shard_plan_cache_distinguishes_shard_counts_and_fusion() {
+        let mut c = Circuit::new(4);
+        c.rz(0, 0.4).cz(0, 1).ry(0, 0.9).cx(1, 2).ry(3, 0.2);
+        let fused = CircuitPlan::compile(&c);
+        let unfused = CircuitPlan::compile_unfused(&c);
+        let mut cache = PlanCache::new();
+        cache.shard_plan(&fused, 2);
+        cache.shard_plan(&fused, 4); // different shard count: miss
+                                     // Same circuit, different op segmentation: must not share the
+                                     // fused entry (the slot indices would be wrong).
+        cache.shard_plan(&unfused, 2);
+        assert_eq!(cache.shard_stats(), (0, 3));
+    }
+
+    #[test]
+    fn shared_plan_cache_is_shared_across_clones_and_threads() {
+        let shared = SharedPlanCache::new();
+        let make = |t: f64| {
+            let mut c = Circuit::new(3);
+            c.ry(0, t).cx(0, 1).cx(1, 2);
+            c
+        };
+        let plan = shared.plan(&make(0.25));
+        let sp = shared.shard_plan(&plan, 2);
+        std::thread::scope(|scope| {
+            for w in 0..4 {
+                let shared = shared.clone();
+                let make = &make;
+                scope.spawn(move || {
+                    let p = shared.plan(&make(0.1 * (w + 1) as f64));
+                    shared.shard_plan(&p, 2);
+                });
+            }
+        });
+        let (structures, hits, misses) = shared.stats();
+        assert_eq!((structures, misses), (1, 1), "one compile total");
+        assert_eq!(hits, 4);
+        assert_eq!(shared.shard_stats(), (4, 1));
+        // The shared rebind executes identically to a fresh analysis.
+        let fresh = ShardPlan::analyze(&plan, 2);
+        assert_eq!(sp.layout(), fresh.layout());
     }
 
     #[test]

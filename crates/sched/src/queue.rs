@@ -1,0 +1,635 @@
+//! The multi-tenant job queue above [`vqe::SimExecutor`].
+
+use crate::fair::{FairScheduler, Pick};
+use mitigation::Pmf;
+use pauli::PauliString;
+use qnoise::DeviceModel;
+use qsim::{CapacityError, Circuit, Parallelism, Sharding, SharedPlanCache};
+use std::collections::HashSet;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use vqe::SimExecutor;
+
+/// The dense-plane representation limit (qubits) of the statevector
+/// engine; see [`qsim::Statevector::try_zero`]. Jobs past it can never
+/// run, so admission rejects them outright.
+const SIM_MAX_QUBITS: usize = 30;
+
+/// Mixes a queue's root seed with a job's stable id into that job's
+/// executor seed — a SplitMix64-style finalizer, so nearby job ids land
+/// on unrelated streams.
+///
+/// The seed is a pure function of `(root_seed, job_id)`: **not** of
+/// submission order, worker count, or scheduling interleaving. This is
+/// what makes every scheduled result bit-identical to a sequential
+/// reference run of the same job, and it is exported so such references
+/// can be built without going through the queue:
+///
+/// ```
+/// let a = sched::job_seed(42, 7);
+/// assert_eq!(a, sched::job_seed(42, 7));   // stable
+/// assert_ne!(a, sched::job_seed(42, 8));   // decorrelated neighbours
+/// assert_ne!(a, sched::job_seed(43, 7));
+/// ```
+pub fn job_seed(root_seed: u64, job_id: u64) -> u64 {
+    let mut z = root_seed ^ job_id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Which qubits one measurement of a job reads out.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MeasureScope {
+    /// Measure only the basis' support — JigSaw/VarSaw-style subset
+    /// execution ([`SimExecutor::run_prepared`]).
+    Subset,
+    /// Measure the full register — Qiskit-style Global execution
+    /// ([`SimExecutor::run_prepared_all`]).
+    Global,
+}
+
+/// One measurement a job performs on its prepared state.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// The Pauli basis to rotate into.
+    pub basis: PauliString,
+    /// Whether the readout covers the basis support or the full register.
+    pub scope: MeasureScope,
+}
+
+impl Measurement {
+    /// A subset measurement of `basis` (readout on its support only).
+    pub fn subset(basis: PauliString) -> Self {
+        Measurement {
+            basis,
+            scope: MeasureScope::Subset,
+        }
+    }
+
+    /// A full-register (Global) measurement of `basis`.
+    pub fn global(basis: PauliString) -> Self {
+        Measurement {
+            basis,
+            scope: MeasureScope::Global,
+        }
+    }
+}
+
+/// One unit of schedulable work: prepare `circuit` from `|0…0⟩`, then
+/// perform each measurement in order on the prepared state.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// Caller-assigned stable identity. Seeds derive from it (see
+    /// [`job_seed`]), so resubmitting the same id under the same root
+    /// seed reproduces the same result bit for bit; the queue rejects
+    /// duplicates ([`AdmitError::DuplicateJobId`]) to keep ids honest.
+    pub job_id: u64,
+    /// The tenant this job bills to (fair-queueing key).
+    pub tenant: u64,
+    /// The state-preparation circuit.
+    pub circuit: Circuit,
+    /// Measurements to run on the prepared state, in order. May be empty
+    /// (a prepare-only job, costing zero metered circuits).
+    pub measurements: Vec<Measurement>,
+}
+
+/// A completed job's results.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobOutput {
+    /// The id from the [`JobSpec`].
+    pub job_id: u64,
+    /// The tenant from the [`JobSpec`].
+    pub tenant: u64,
+    /// One outcome PMF per measurement, in spec order.
+    pub pmfs: Vec<Pmf>,
+    /// Metered circuit executions (the paper's Cost metric) — exactly
+    /// what a sequential [`SimExecutor`] run of this job would report.
+    pub cost: u64,
+}
+
+/// Why a submitted job was refused at admission. Admission rejects only
+/// jobs that can **never** run; jobs that merely don't fit right now are
+/// queued and dispatched once running jobs release capacity.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AdmitError {
+    /// The job's dense state exceeds the queue's memory budget, so no
+    /// schedule could ever hold it.
+    ExceedsBudget {
+        /// Bytes the job's statevector needs ([`qsim::CircuitStats::state_bytes`]).
+        needed: u128,
+        /// The queue's configured budget.
+        budget: u128,
+    },
+    /// The register exceeds the simulator's dense representation limit.
+    ExceedsSimulator {
+        /// The job's register width.
+        num_qubits: usize,
+        /// Bytes its dense state would need.
+        bytes: u128,
+    },
+    /// A job with this id was already submitted; ids must be unique
+    /// because seeds derive from them.
+    DuplicateJobId(u64),
+    /// A subset measurement of the identity basis reads nothing out.
+    IdentityBasis {
+        /// Index into [`JobSpec::measurements`].
+        measurement: usize,
+    },
+    /// A measurement basis is wider than the job's register.
+    BasisTooWide {
+        /// Index into [`JobSpec::measurements`].
+        measurement: usize,
+        /// The basis width.
+        basis_qubits: usize,
+        /// The register width.
+        circuit_qubits: usize,
+    },
+    /// A measurement reads out more qubits than the device has.
+    DeviceTooSmall {
+        /// Index into [`JobSpec::measurements`].
+        measurement: usize,
+        /// Qubits the readout needs.
+        needed: usize,
+        /// Qubits the device has.
+        device: usize,
+    },
+}
+
+impl fmt::Display for AdmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmitError::ExceedsBudget { needed, budget } => write!(
+                f,
+                "job needs {needed} bytes of state but the queue budget is {budget}"
+            ),
+            AdmitError::ExceedsSimulator { num_qubits, bytes } => write!(
+                f,
+                "a {num_qubits}-qubit register ({bytes} bytes) exceeds the \
+                 simulator's {SIM_MAX_QUBITS}-qubit dense limit"
+            ),
+            AdmitError::DuplicateJobId(id) => {
+                write!(f, "job id {id} was already submitted")
+            }
+            AdmitError::IdentityBasis { measurement } => write!(
+                f,
+                "measurement {measurement} is a subset readout of the identity basis"
+            ),
+            AdmitError::BasisTooWide {
+                measurement,
+                basis_qubits,
+                circuit_qubits,
+            } => write!(
+                f,
+                "measurement {measurement} acts on {basis_qubits} qubits but the \
+                 register has {circuit_qubits}"
+            ),
+            AdmitError::DeviceTooSmall {
+                measurement,
+                needed,
+                device,
+            } => write!(
+                f,
+                "measurement {measurement} reads out {needed} qubits but the \
+                 device has {device}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AdmitError {}
+
+/// Why an admitted job failed during execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobError {
+    /// The state allocation was refused at run time (e.g. the allocator
+    /// rejected the reservation even though the job was within budget).
+    Capacity(CapacityError),
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::Capacity(e) => write!(f, "job failed to allocate its state: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+impl From<CapacityError> for JobError {
+    fn from(e: CapacityError) -> Self {
+        JobError::Capacity(e)
+    }
+}
+
+/// The write-once completion cell a [`JobHandle`] watches.
+#[derive(Debug, Default)]
+struct Slot {
+    cell: Mutex<Option<Result<JobOutput, JobError>>>,
+    ready: Condvar,
+}
+
+impl Slot {
+    fn fill(&self, result: Result<JobOutput, JobError>) {
+        let mut cell = lock(&self.cell);
+        debug_assert!(cell.is_none(), "a job completes exactly once");
+        *cell = Some(result);
+        self.ready.notify_all();
+    }
+}
+
+/// A caller's view of one submitted job: poll with
+/// [`JobHandle::try_result`] or block with [`JobHandle::wait`]. Handles
+/// are cheap to clone and results stay readable after completion.
+#[derive(Clone, Debug)]
+pub struct JobHandle {
+    job_id: u64,
+    tenant: u64,
+    slot: Arc<Slot>,
+}
+
+impl JobHandle {
+    /// The id of the job this handle watches.
+    pub fn job_id(&self) -> u64 {
+        self.job_id
+    }
+
+    /// The tenant the job bills to.
+    pub fn tenant(&self) -> u64 {
+        self.tenant
+    }
+
+    /// Whether the job has completed (successfully or not).
+    pub fn is_done(&self) -> bool {
+        lock(&self.slot.cell).is_some()
+    }
+
+    /// Polls for the result without blocking: `None` while the job is
+    /// still queued or running.
+    pub fn try_result(&self) -> Option<Result<JobOutput, JobError>> {
+        lock(&self.slot.cell).clone()
+    }
+
+    /// Blocks until the job completes and returns its result. Only
+    /// returns while a [`JobQueue::drain`] is running (or has run) —
+    /// waiting on a job nobody drains blocks forever, like any unfired
+    /// future.
+    pub fn wait(&self) -> Result<JobOutput, JobError> {
+        let mut cell = lock(&self.slot.cell);
+        loop {
+            if let Some(result) = cell.as_ref() {
+                return result.clone();
+            }
+            cell = self
+                .slot
+                .ready
+                .wait(cell)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// A job queued for dispatch.
+#[derive(Debug)]
+struct PendingJob {
+    spec: JobSpec,
+    /// Dense state footprint, the unit of admission accounting.
+    bytes: u128,
+    /// Estimated metered cost (measurement count), the unit of fairness
+    /// accounting.
+    cost: u64,
+    slot: Arc<Slot>,
+}
+
+/// Mutable scheduler state behind the queue's mutex.
+#[derive(Debug)]
+struct SchedState {
+    sched: FairScheduler<PendingJob>,
+    seen_ids: HashSet<u64>,
+    in_flight_bytes: u128,
+    in_flight_jobs: usize,
+    peak_in_flight_bytes: u128,
+    completion_log: Vec<u64>,
+}
+
+/// Locks a mutex, recovering the guard from a poisoned lock — scheduler
+/// state stays readable even if a worker panicked mid-drain.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A multi-tenant job queue above [`vqe::SimExecutor`].
+///
+/// - **Admission control**: [`JobQueue::submit`] sizes each job by its
+///   dense state footprint and rejects — with a typed [`AdmitError`],
+///   never a panic — anything that could never run (over the memory
+///   budget, past the simulator's representation limit, malformed
+///   measurements, duplicate ids). Admitted jobs that merely don't fit
+///   *right now* queue until running jobs release capacity.
+/// - **Weighted fairness**: dispatch follows per-tenant virtual runtime
+///   (the `fair` module); [`JobQueue::set_tenant_weight`] skews
+///   capacity proportionally, and a flooding tenant cannot starve others.
+/// - **Determinism**: each job runs on a fresh executor seeded by
+///   [`job_seed`]`(root_seed, job_id)` and pinned serial, so results and
+///   per-job cost are bit-identical to a sequential reference run —
+///   independent of submission order, worker count, and interleaving.
+/// - **Plan sharing**: all job executors plan through one
+///   [`SharedPlanCache`], so tenants running the same ansatz family
+///   share compiled circuit structures ([`JobQueue::plan_cache_stats`]).
+///
+/// # Example
+///
+/// ```
+/// use qnoise::DeviceModel;
+/// use qsim::Circuit;
+/// use sched::{JobQueue, JobSpec, Measurement};
+///
+/// let queue = JobQueue::new(DeviceModel::mumbai_like(), 256, 9).with_workers(2);
+/// let mut handles = Vec::new();
+/// for (job_id, tenant) in [(1u64, 0u64), (2, 1)] {
+///     let mut c = Circuit::new(2);
+///     c.h(0).cx(0, 1);
+///     handles.push(
+///         queue
+///             .submit(JobSpec {
+///                 job_id,
+///                 tenant,
+///                 circuit: c,
+///                 measurements: vec![Measurement::subset("ZZ".parse().unwrap())],
+///             })
+///             .unwrap(),
+///     );
+/// }
+/// queue.drain();
+/// for h in &handles {
+///     let out = h.wait().unwrap();
+///     assert_eq!(out.cost, 1);
+///     assert_eq!(out.pmfs[0].qubits(), &[0, 1]);
+/// }
+/// assert_eq!(queue.completed(), 2);
+/// ```
+#[derive(Debug)]
+pub struct JobQueue {
+    device: DeviceModel,
+    shots: u64,
+    root_seed: u64,
+    workers: usize,
+    budget: u128,
+    sharding: Sharding,
+    shared: SharedPlanCache,
+    state: Mutex<SchedState>,
+    /// Workers park here when nothing runnable fits; completions and
+    /// submissions wake them.
+    wake: Condvar,
+}
+
+impl JobQueue {
+    /// A queue executing on `device` with `shots` shots per measurement.
+    /// Worker count defaults to [`parallel::sched_workers`], the memory
+    /// budget to unlimited (the simulator's per-job representation limit
+    /// still applies), and sharding to off.
+    pub fn new(device: DeviceModel, shots: u64, root_seed: u64) -> Self {
+        JobQueue {
+            device,
+            shots,
+            root_seed,
+            workers: parallel::sched_workers(),
+            budget: u128::MAX,
+            sharding: Sharding::Off,
+            shared: SharedPlanCache::new(),
+            state: Mutex::new(SchedState {
+                sched: FairScheduler::new(),
+                seen_ids: HashSet::new(),
+                in_flight_bytes: 0,
+                in_flight_jobs: 0,
+                peak_in_flight_bytes: 0,
+                completion_log: Vec::new(),
+            }),
+            wake: Condvar::new(),
+        }
+    }
+
+    /// Sets the number of worker threads a [`JobQueue::drain`] runs
+    /// (≥ 1). Results never depend on it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        assert!(workers >= 1, "need at least one worker");
+        self.workers = workers;
+        self
+    }
+
+    /// Caps the total dense-state bytes of concurrently running jobs.
+    /// Jobs needing more than the whole budget are rejected at admission;
+    /// admitted jobs queue until they fit.
+    pub fn with_memory_budget(mut self, bytes: u128) -> Self {
+        self.budget = bytes;
+        self
+    }
+
+    /// Sets the [`Sharding`] mode job executors prepare states with
+    /// (default off). Sharded preparation is bit-identical, so this
+    /// never changes results.
+    pub fn with_sharding(mut self, sharding: Sharding) -> Self {
+        self.sharding = sharding;
+        self
+    }
+
+    /// Sets `tenant`'s fair-share weight (default 1): a weight-3 tenant
+    /// drains roughly three times as fast as a weight-1 tenant under
+    /// contention.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight == 0`.
+    pub fn set_tenant_weight(&self, tenant: u64, weight: u32) {
+        lock(&self.state).sched.set_weight(tenant, weight);
+    }
+
+    /// Submits a job, returning its completion handle, or a typed
+    /// [`AdmitError`] if the job could never run. Admission never panics
+    /// and never aborts the process; a rejected job leaves no trace (its
+    /// id stays available).
+    pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, AdmitError> {
+        let bytes = spec.circuit.stats().state_bytes();
+        if spec.circuit.num_qubits() > SIM_MAX_QUBITS {
+            return Err(AdmitError::ExceedsSimulator {
+                num_qubits: spec.circuit.num_qubits(),
+                bytes,
+            });
+        }
+        if bytes > self.budget {
+            return Err(AdmitError::ExceedsBudget {
+                needed: bytes,
+                budget: self.budget,
+            });
+        }
+        let device_qubits = self.device.num_qubits();
+        for (i, m) in spec.measurements.iter().enumerate() {
+            if m.basis.num_qubits() > spec.circuit.num_qubits() {
+                return Err(AdmitError::BasisTooWide {
+                    measurement: i,
+                    basis_qubits: m.basis.num_qubits(),
+                    circuit_qubits: spec.circuit.num_qubits(),
+                });
+            }
+            let needed = match m.scope {
+                MeasureScope::Subset => {
+                    let support = m.basis.support();
+                    if support.is_empty() {
+                        return Err(AdmitError::IdentityBasis { measurement: i });
+                    }
+                    support.len()
+                }
+                MeasureScope::Global => spec.circuit.num_qubits(),
+            };
+            if needed > device_qubits {
+                return Err(AdmitError::DeviceTooSmall {
+                    measurement: i,
+                    needed,
+                    device: device_qubits,
+                });
+            }
+        }
+
+        let mut st = lock(&self.state);
+        if !st.seen_ids.insert(spec.job_id) {
+            return Err(AdmitError::DuplicateJobId(spec.job_id));
+        }
+        let slot = Arc::new(Slot::default());
+        let handle = JobHandle {
+            job_id: spec.job_id,
+            tenant: spec.tenant,
+            slot: Arc::clone(&slot),
+        };
+        let cost = spec.measurements.len() as u64;
+        let tenant = spec.tenant;
+        st.sched.push(
+            tenant,
+            PendingJob {
+                spec,
+                bytes,
+                cost,
+                slot,
+            },
+        );
+        drop(st);
+        // A parked worker (mid-drain submission from another thread) may
+        // now have work.
+        self.wake.notify_all();
+        Ok(handle)
+    }
+
+    /// Runs worker threads until every pending job has completed, then
+    /// returns. Callable repeatedly; an empty queue drains immediately.
+    /// Worker count comes from [`JobQueue::with_workers`], and — like
+    /// every scheduling knob — affects throughput only, never results.
+    pub fn drain(&self) {
+        parallel::scope_workers(self.workers, |_| self.worker_loop());
+    }
+
+    /// Number of jobs admitted but not yet dispatched.
+    pub fn pending(&self) -> usize {
+        lock(&self.state).sched.pending()
+    }
+
+    /// Number of jobs that have completed (successfully or not).
+    pub fn completed(&self) -> u64 {
+        lock(&self.state).completion_log.len() as u64
+    }
+
+    /// Job ids in completion order — the observable the fairness and
+    /// starvation tests assert on.
+    pub fn completion_order(&self) -> Vec<u64> {
+        lock(&self.state).completion_log.clone()
+    }
+
+    /// High-water mark of concurrently in-flight state bytes; never
+    /// exceeds the configured budget.
+    pub fn peak_in_flight_bytes(&self) -> u128 {
+        lock(&self.state).peak_in_flight_bytes
+    }
+
+    /// Statistics `(structures, hits, misses)` of the plan cache all job
+    /// executors share — hits are jobs that reused another job's (or
+    /// tenant's) compiled circuit structure.
+    pub fn plan_cache_stats(&self) -> (usize, u64, u64) {
+        self.shared.stats()
+    }
+
+    /// The shared plan cache itself, for wiring external executors into
+    /// the same structure pool.
+    pub fn shared_plans(&self) -> SharedPlanCache {
+        self.shared.clone()
+    }
+
+    /// One worker: repeatedly dispatch the fair scheduler's next fitting
+    /// job, run it on a fresh per-job executor, publish the result. Parks
+    /// on the queue's condvar while jobs are pending but over the free
+    /// budget (or other workers' completions might unblock them); exits
+    /// when nothing is pending or running.
+    fn worker_loop(&self) {
+        loop {
+            let job = {
+                let mut st = lock(&self.state);
+                loop {
+                    if st.sched.pending() == 0 && st.in_flight_jobs == 0 {
+                        return;
+                    }
+                    let free = self.budget - st.in_flight_bytes;
+                    match st.sched.pick(|j| j.bytes <= free, |j| j.cost) {
+                        Pick::Job(job) => {
+                            st.in_flight_bytes += job.bytes;
+                            st.in_flight_jobs += 1;
+                            st.peak_in_flight_bytes =
+                                st.peak_in_flight_bytes.max(st.in_flight_bytes);
+                            break job;
+                        }
+                        Pick::Blocked | Pick::Empty => {
+                            st = self.wake.wait(st).unwrap_or_else(|e| e.into_inner());
+                        }
+                    }
+                }
+            };
+            let result = self.run_job(&job.spec);
+            {
+                let mut st = lock(&self.state);
+                st.in_flight_bytes -= job.bytes;
+                st.in_flight_jobs -= 1;
+                st.completion_log.push(job.spec.job_id);
+            }
+            job.slot.fill(result);
+            self.wake.notify_all();
+        }
+    }
+
+    /// Executes one job exactly as a standalone sequential run would:
+    /// fresh executor, seed from [`job_seed`], serial statevector path
+    /// (workers provide the parallelism; pinning jobs serial avoids
+    /// oversubscription and keeps per-job RNG streams self-contained).
+    fn run_job(&self, spec: &JobSpec) -> Result<JobOutput, JobError> {
+        let seed = job_seed(self.root_seed, spec.job_id);
+        let mut exec = SimExecutor::new(self.device.clone(), self.shots, seed)
+            .with_shared_plans(self.shared.clone())
+            .with_parallelism(Parallelism::Serial)
+            .with_sharding(self.sharding);
+        let state = exec.try_prepare(&spec.circuit)?;
+        let pmfs = spec
+            .measurements
+            .iter()
+            .map(|m| match m.scope {
+                MeasureScope::Subset => exec.run_prepared(&state, &m.basis),
+                MeasureScope::Global => exec.run_prepared_all(&state, &m.basis),
+            })
+            .collect();
+        Ok(JobOutput {
+            job_id: spec.job_id,
+            tenant: spec.tenant,
+            pmfs,
+            cost: exec.circuits_executed(),
+        })
+    }
+}

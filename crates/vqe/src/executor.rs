@@ -6,7 +6,8 @@ use pauli::PauliString;
 use qnoise::{apply_depolarizing, apply_readout_errors, DeviceModel, ReadoutError};
 use qsim::shard::auto_shard_count;
 use qsim::{
-    Circuit, CircuitPlan, Parallelism, PlanCache, ShardPlan, ShardedState, Sharding, Statevector,
+    CapacityError, Circuit, CircuitPlan, Parallelism, PlanCache, ShardPlan, ShardedState, Sharding,
+    SharedPlanCache, Statevector,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -57,7 +58,11 @@ pub struct SimExecutor {
     /// subset/Global measurement rotations and MBM circuits all share the
     /// handful of shapes a VQE run executes, so after the first iteration
     /// every simulation rebinds a cached plan instead of re-analyzing.
+    /// Also memoizes sharded-execution analyses per structure.
     plans: PlanCache,
+    /// When set, planning goes through this process-shared cache instead
+    /// of the private one — see [`SimExecutor::with_shared_plans`].
+    shared_plans: Option<SharedPlanCache>,
 }
 
 impl SimExecutor {
@@ -77,6 +82,7 @@ impl SimExecutor {
             parallelism: Parallelism::Auto,
             sharding: Sharding::Off,
             plans: PlanCache::new(),
+            shared_plans: None,
         }
     }
 
@@ -93,7 +99,40 @@ impl SimExecutor {
             parallelism: Parallelism::Auto,
             sharding: Sharding::Off,
             plans: PlanCache::new(),
+            shared_plans: None,
         }
+    }
+
+    /// Routes this executor's circuit planning through a process-shared
+    /// [`SharedPlanCache`] instead of its private cache. Executors for
+    /// different jobs — or different tenants — running the same ansatz
+    /// family then hit each other's compiled structures: the scheduler
+    /// tier (`sched::JobQueue`) hands every job executor one shared
+    /// cache. Plans are deterministic artifacts, so sharing never
+    /// changes results.
+    ///
+    /// ```
+    /// use qnoise::DeviceModel;
+    /// use qsim::{Circuit, SharedPlanCache};
+    /// use vqe::SimExecutor;
+    ///
+    /// let shared = SharedPlanCache::new();
+    /// let mut a = SimExecutor::new(DeviceModel::noiseless(2), 16, 1)
+    ///     .with_shared_plans(shared.clone());
+    /// let mut b = SimExecutor::new(DeviceModel::noiseless(2), 16, 2)
+    ///     .with_shared_plans(shared.clone());
+    /// let mut c = Circuit::new(2);
+    /// c.ry(0, 0.3).cx(0, 1);
+    /// a.prepare(&c);
+    /// let mut c2 = Circuit::new(2);
+    /// c2.ry(0, -0.8).cx(0, 1);
+    /// b.prepare(&c2); // same structure: a hit through the other executor
+    /// assert_eq!(shared.stats(), (1, 1, 1));
+    /// assert_eq!(b.plan_cache_stats(), (1, 1, 1)); // reports the shared cache
+    /// ```
+    pub fn with_shared_plans(mut self, shared: SharedPlanCache) -> Self {
+        self.shared_plans = Some(shared);
+        self
     }
 
     /// Sets how statevector simulation spreads gate kernels across
@@ -165,18 +204,46 @@ impl SimExecutor {
         }
     }
 
+    /// The compiled plan for `circuit`, through the shared cache when one
+    /// is attached and the private cache otherwise.
+    fn plan(&mut self, circuit: &Circuit) -> CircuitPlan {
+        match &self.shared_plans {
+            Some(shared) => shared.plan(circuit),
+            None => self.plans.plan(circuit),
+        }
+    }
+
+    /// The memoized sharded-execution plan for `plan` on `shards` shards
+    /// (`None` for unsharded execution). Routes through the same cache as
+    /// [`SimExecutor::plan`], so a rebind of a known ansatz shape skips
+    /// the layout re-analysis (ROADMAP carry-over).
+    fn shard_plan(&mut self, plan: &CircuitPlan, shards: usize) -> Option<ShardPlan> {
+        if shards <= 1 {
+            return None;
+        }
+        Some(match &self.shared_plans {
+            Some(shared) => shared.shard_plan(plan, shards),
+            None => self.plans.shard_plan(plan, shards),
+        })
+    }
+
     /// Simulates a compiled plan from `|0…0⟩` on the dense plane or the
-    /// sharded executor. All paths are bit-identical.
-    fn simulate(plan: &CircuitPlan, shards: usize, mode: Parallelism) -> Statevector {
-        if shards > 1 {
-            let sp = ShardPlan::analyze(plan, shards);
-            let mut st = ShardedState::zero(plan.num_qubits(), shards).with_parallelism(mode);
-            st.apply_shard_plan(&sp);
-            st.to_statevector()
+    /// sharded executor, surfacing allocation refusals as typed
+    /// [`CapacityError`]s. All paths are bit-identical.
+    fn try_simulate(
+        plan: &CircuitPlan,
+        shard_plan: Option<&ShardPlan>,
+        mode: Parallelism,
+    ) -> Result<Statevector, CapacityError> {
+        if let Some(sp) = shard_plan {
+            let mut st =
+                ShardedState::try_zero(plan.num_qubits(), sp.num_shards())?.with_parallelism(mode);
+            st.apply_shard_plan(sp);
+            Ok(st.to_statevector())
         } else {
-            let mut st = Statevector::zero(plan.num_qubits());
+            let mut st = Statevector::try_zero(plan.num_qubits())?;
             st.apply_plan_with(plan, mode);
-            st
+            Ok(st)
         }
     }
 
@@ -203,8 +270,30 @@ impl SimExecutor {
     /// assert_eq!(exec.circuits_executed(), 0); // preparation is not metered
     /// ```
     pub fn prepare(&mut self, circuit: &Circuit) -> Statevector {
-        let plan = self.plans.plan(circuit);
-        Self::simulate(&plan, self.resolve_shards(circuit), self.parallelism)
+        self.try_prepare(circuit).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`SimExecutor::prepare`], surfacing state-allocation failures as a
+    /// typed [`CapacityError`] instead of panicking — the admission-control
+    /// seam job schedulers branch on. Covers every execution tier: the
+    /// dense plane (serial or threaded) probes
+    /// [`Statevector::try_zero`], the sharded executor probes
+    /// [`ShardedState::try_zero`](qsim::ShardedState::try_zero).
+    ///
+    /// ```
+    /// use qnoise::DeviceModel;
+    /// use qsim::Circuit;
+    /// use vqe::SimExecutor;
+    ///
+    /// let mut exec = SimExecutor::new(DeviceModel::noiseless(2), 16, 1);
+    /// assert!(exec.try_prepare(&Circuit::new(3)).is_ok());
+    /// let err = exec.try_prepare(&Circuit::new(33)).unwrap_err();
+    /// assert_eq!(err.num_qubits(), 33);
+    /// ```
+    pub fn try_prepare(&mut self, circuit: &Circuit) -> Result<Statevector, CapacityError> {
+        let plan = self.plan(circuit);
+        let sp = self.shard_plan(&plan, self.resolve_shards(circuit));
+        Self::try_simulate(&plan, sp.as_ref(), self.parallelism)
     }
 
     /// Prepares one state per circuit against the shared [`PlanCache`] —
@@ -234,28 +323,63 @@ impl SimExecutor {
     /// assert_eq!(exec.plan_cache_stats().2, 1); // one compile, one rebind
     /// ```
     pub fn prepare_batch(&mut self, circuits: &[Circuit]) -> Vec<Statevector> {
-        let plans: Vec<(CircuitPlan, usize)> = circuits
+        self.try_prepare_batch(circuits)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`SimExecutor::prepare_batch`], surfacing state-allocation failures
+    /// as a typed [`CapacityError`] (the first one encountered, in circuit
+    /// order) instead of panicking.
+    pub fn try_prepare_batch(
+        &mut self,
+        circuits: &[Circuit],
+    ) -> Result<Vec<Statevector>, CapacityError> {
+        let plans: Vec<(CircuitPlan, Option<ShardPlan>)> = circuits
             .iter()
-            .map(|c| (self.plans.plan(c), self.resolve_shards(c)))
+            .map(|c| {
+                let plan = self.plan(c);
+                let sp = self.shard_plan(&plan, self.resolve_shards(c));
+                (plan, sp)
+            })
             .collect();
-        if self.parallelism != Parallelism::Serial && plans.len() > 1 && parallel::num_threads() > 1
+        let states: Vec<Result<Statevector, CapacityError>> = if self.parallelism
+            != Parallelism::Serial
+            && plans.len() > 1
+            && parallel::num_threads() > 1
         {
-            parallel::parallel_map(plans, |(plan, shards)| {
-                Self::simulate(plan, *shards, Parallelism::Serial)
+            parallel::parallel_map(plans, |(plan, sp)| {
+                Self::try_simulate(plan, sp.as_ref(), Parallelism::Serial)
             })
         } else {
             plans
                 .iter()
-                .map(|(plan, shards)| Self::simulate(plan, *shards, self.parallelism))
+                .map(|(plan, sp)| Self::try_simulate(plan, sp.as_ref(), self.parallelism))
                 .collect()
-        }
+        };
+        states.into_iter().collect()
     }
 
     /// Plan-cache statistics `(structures, hits, misses)` — how often
     /// simulations rebound a cached circuit structure instead of
-    /// re-analyzing it.
+    /// re-analyzing it. Reports the shared cache when one is attached
+    /// ([`SimExecutor::with_shared_plans`]), so schedulers can observe
+    /// cross-tenant sharing through any participating executor.
     pub fn plan_cache_stats(&self) -> (usize, u64, u64) {
-        (self.plans.len(), self.plans.hits(), self.plans.misses())
+        match &self.shared_plans {
+            Some(shared) => shared.stats(),
+            None => (self.plans.len(), self.plans.hits(), self.plans.misses()),
+        }
+    }
+
+    /// Shard-analysis cache counters `(hits, misses)` — how often sharded
+    /// preparation rebound a memoized layout analysis instead of
+    /// re-analyzing (see [`qsim::PlanCache::shard_plan`]). Reports the
+    /// shared cache when one is attached.
+    pub fn shard_cache_stats(&self) -> (u64, u64) {
+        match &self.shared_plans {
+            Some(shared) => shared.shard_stats(),
+            None => self.plans.shard_stats(),
+        }
     }
 
     /// The device model.
@@ -310,7 +434,7 @@ impl SimExecutor {
             "cannot execute a measurement of the identity basis"
         );
         let mut st = state.clone();
-        let plan = self.plans.plan(&basis_rotation(basis));
+        let plan = self.plan(&basis_rotation(basis));
         st.apply_plan_with(&plan, self.parallelism);
         self.finish(st.marginal_probabilities(&measured), measured)
     }
@@ -329,7 +453,7 @@ impl SimExecutor {
     /// is too small.
     pub fn run_prepared_all(&mut self, state: &Statevector, basis: &PauliString) -> Pmf {
         let mut st = state.clone();
-        let plan = self.plans.plan(&basis_rotation(basis));
+        let plan = self.plan(&basis_rotation(basis));
         st.apply_plan_with(&plan, self.parallelism);
         let measured: Vec<usize> = (0..state.num_qubits()).collect();
         self.finish(st.marginal_probabilities(&measured), measured)
@@ -344,7 +468,7 @@ impl SimExecutor {
     pub fn run_circuit(&mut self, circuit: &Circuit, measured: &[usize]) -> Pmf {
         assert!(!measured.is_empty(), "no qubits to measure");
         let mut st = Statevector::zero(circuit.num_qubits());
-        let plan = self.plans.plan(circuit);
+        let plan = self.plan(circuit);
         st.apply_plan_with(&plan, self.parallelism);
         self.finish(st.marginal_probabilities(measured), measured.to_vec())
     }
@@ -411,7 +535,7 @@ impl SimExecutor {
                 );
                 let full_register = measured.len() == job.state.num_qubits();
                 Planned {
-                    plan: self.plans.plan(&basis_rotation(job.basis)),
+                    plan: self.plan(&basis_rotation(job.basis)),
                     measured,
                     full_register,
                 }

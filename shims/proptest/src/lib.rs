@@ -3,8 +3,9 @@
 //!
 //! Provides the [`strategy::Strategy`] trait with `prop_map` /
 //! `prop_filter_map` combinators, range and tuple strategies,
-//! [`collection::vec`], [`sample::select`] / [`sample::subsequence`], and
-//! the [`proptest!`] / [`prop_oneof!`] / [`prop_assert!`] family of macros.
+//! [`collection::vec`], [`sample::select`] / [`sample::subsequence`] /
+//! [`sample::shuffle`], and the [`proptest!`] / [`prop_oneof!`] /
+//! [`prop_assert!`] family of macros.
 //! Unlike the real crate it does not shrink failing inputs — it generates a
 //! fixed number of deterministic cases per property (seeded from the test
 //! name), which is what a reproduction CI needs: failures are perfectly
