@@ -143,6 +143,331 @@ pub(crate) fn pair_update(m: &[[C64; 2]; 2], a0: C64, a1: C64) -> (C64, C64) {
     (m[0][0] * a0 + m[0][1] * a1, m[1][0] * a0 + m[1][1] * a1)
 }
 
+/// New values of a pair-basis amplitude quad under a 4×4 block matrix.
+/// Shared by the serial, threaded, and sharded [`PlanOp::Block4`]
+/// kernels so all three tiers perform the exact same floating-point
+/// operations (bit-identical results).
+///
+/// The accumulation tree is the fixed pairing `(t0 + t3) + (t1 + t2)`,
+/// not left-to-right. A shard-layout remap that flips a block's pair
+/// order relabels the pair basis by the permutation `(0)(3)(1 2)`
+/// (`linalg::swap_qubits4` conjugation — exact entry copies); that
+/// relabeling fixes the `{0,3}` operand pair and swaps the `{1,2}`
+/// one wholesale, and IEEE addition is commutative, so this pairing
+/// makes remapped blocks bit-identical to the serial reference where
+/// left-to-right accumulation would diverge by a rounding.
+#[inline]
+pub(crate) fn quad_update(m: &[[C64; 4]; 4], a: [C64; 4]) -> [C64; 4] {
+    let mut out = [C64::ZERO; 4];
+    for (o, row) in out.iter_mut().zip(m) {
+        *o = (row[0] * a[0] + row[3] * a[3]) + (row[1] * a[1] + row[2] * a[2]);
+    }
+    out
+}
+
+/// New values of a pair-basis amplitude quad under a row-sparse block
+/// matrix: row `r` reads only `a[cols[r][0]]` and `a[cols[r][1]]` (a row
+/// with one nonzero pads the second slot with a zero coefficient). Eight
+/// complex multiplies instead of sixteen — entangler blocks built from
+/// CX/CZ sandwiches are mostly this sparse. Two-term sums are
+/// commutative bitwise, so like [`quad_update`]'s pairing this rule is
+/// exact under the pair-flip relabeling a shard-layout remap performs.
+#[inline(always)]
+pub(crate) fn sparse2_update(
+    cols: &[[usize; 2]; 4],
+    vals: &[[C64; 2]; 4],
+    a: [C64; 4],
+) -> [C64; 4] {
+    let mut out = [C64::ZERO; 4];
+    for ((o, c), v) in out.iter_mut().zip(cols).zip(vals) {
+        *o = v[0] * a[c[0]] + v[1] * a[c[1]];
+    }
+    out
+}
+
+/// Per-pass classification of a bound [`PlanOp::Block4`] matrix by its
+/// nonzero pattern, shared by the serial, threaded, and sharded kernels.
+///
+/// Entangler blocks frequently bind matrices that are at least half
+/// zeros (a CX times a `R ⊗ I` rotation sandwich has two nonzeros per
+/// row), so each execution pass scans the 16 entries once and picks the
+/// cheapest update rule. The classification is a pure function of the
+/// matrix values, so every tier derives the same kernel for the same op
+/// — cross-tier results stay bit-identical — and rebinding needs no
+/// bookkeeping: a rebound matrix is simply re-classified at its next
+/// pass.
+#[derive(Clone, Copy)]
+pub(crate) enum QuadKernel {
+    /// Full 16-multiply [`quad_update`].
+    Dense([[C64; 4]; 4]),
+    /// At most two nonzeros in every row: [`sparse2_update`].
+    Sparse2 {
+        cols: [[usize; 2]; 4],
+        vals: [[C64; 2]; 4],
+    },
+}
+
+impl QuadKernel {
+    /// Scans the matrix and picks the cheapest update rule that computes
+    /// it exactly.
+    pub(crate) fn of(m: &[[C64; 4]; 4]) -> Self {
+        let mut cols = [[0usize; 2]; 4];
+        let mut vals = [[C64::ZERO; 2]; 4];
+        for (r, row) in m.iter().enumerate() {
+            let mut k = 0;
+            for (c, &v) in row.iter().enumerate() {
+                if v != C64::ZERO {
+                    if k == 2 {
+                        return QuadKernel::Dense(*m);
+                    }
+                    cols[r][k] = c;
+                    vals[r][k] = v;
+                    k += 1;
+                }
+            }
+        }
+        QuadKernel::Sparse2 { cols, vals }
+    }
+
+    /// Applies the classified rule to one pair-basis quad.
+    #[inline(always)]
+    pub(crate) fn apply(&self, a: [C64; 4]) -> [C64; 4] {
+        match self {
+            QuadKernel::Dense(m) => quad_update(m, a),
+            QuadKernel::Sparse2 { cols, vals } => sparse2_update(cols, vals, a),
+        }
+    }
+}
+
+/// Calls `f` with the two contiguous stride-1 lanes of every qubit-`q`
+/// amplitude block: `s0` holds the indices with bit `q` clear, `s1` the
+/// elementwise partners with it set, both `2^q` long. The branch-free
+/// slice form lets the single-qubit sweeps autovectorize over whole f64
+/// lanes instead of chasing per-element bit arithmetic.
+#[inline]
+pub(crate) fn for_each_pair_lanes(
+    amps: &mut [C64],
+    q: usize,
+    mut f: impl FnMut(&mut [C64], &mut [C64]),
+) {
+    let mask = 1usize << q;
+    let dim = amps.len();
+    let mut base = 0;
+    while base < dim {
+        let (s0, s1) = amps[base..base + (mask << 1)].split_at_mut(mask);
+        f(s0, s1);
+        base += mask << 1;
+    }
+}
+
+/// Calls `f` with the four contiguous stride-1 lanes of every
+/// `(lo, hi)`-pair block (`lo < hi`), each `2^lo` long, in pair-basis
+/// order `s = 2·bit(hi) + bit(lo)`: `(s0, s1, s2, s3)` hold the indices
+/// with (neither, `lo`, `hi`, both) set. The two-qubit sweeps walk these
+/// lanes with no per-element bit spreading, so the inner loops are
+/// branch-free and autovectorizable.
+#[inline]
+pub(crate) fn for_each_quad_lanes(
+    amps: &mut [C64],
+    lo: usize,
+    hi: usize,
+    mut f: impl FnMut(&mut [C64], &mut [C64], &mut [C64], &mut [C64]),
+) {
+    debug_assert!(lo < hi);
+    let lolen = 1usize << lo;
+    let himask = 1usize << hi;
+    let dim = amps.len();
+    let mut outer = 0;
+    while outer < dim {
+        let mut mid = outer;
+        while mid < outer + himask {
+            let block = &mut amps[mid..mid + himask + 2 * lolen];
+            let (s0, rest) = block.split_at_mut(lolen);
+            let (s1, rest) = rest.split_at_mut(lolen);
+            let (s2, rest) = rest[himask - 2 * lolen..].split_at_mut(lolen);
+            f(s0, s1, s2, &mut rest[..lolen]);
+            mid += lolen << 1;
+        }
+        outer += himask << 1;
+    }
+}
+
+/// Minimum pair-bit position (log2 lane length) for the contiguous-lane
+/// sweeps to pay off: below it the stride-1 lanes shrink to a handful of
+/// elements and per-lane call overhead beats the vectorization win, so
+/// the serial kernels fall back to index-spread enumeration. Both forms
+/// visit identical amplitude sets with identical arithmetic, so the
+/// switch can never change results — only speed.
+pub(crate) const LANE_MIN_BIT: usize = 3;
+
+/// Single-qubit matrix sweep over a contiguous amplitude slice (a full
+/// statevector or one shard with `q` local). Hybrid enumeration per
+/// [`LANE_MIN_BIT`]; the arithmetic per pair is [`pair_update`] on both
+/// paths, keeping every tier bit-identical.
+pub(crate) fn apply_1q_local(amps: &mut [C64], q: usize, m: &[[C64; 2]; 2]) {
+    let m = *m;
+    if q >= LANE_MIN_BIT {
+        for_each_pair_lanes(amps, q, |s0, s1| {
+            for (a, b) in s0.iter_mut().zip(s1.iter_mut()) {
+                let (b0, b1) = pair_update(&m, *a, *b);
+                *a = b0;
+                *b = b1;
+            }
+        });
+    } else {
+        let mask = 1usize << q;
+        for p in 0..amps.len() / 2 {
+            let i = insert_zero_bit(p, q);
+            let (b0, b1) = pair_update(&m, amps[i], amps[i | mask]);
+            amps[i] = b0;
+            amps[i | mask] = b1;
+        }
+    }
+}
+
+/// X sweep on `q` (a CX whose control sits outside the slice and is
+/// known set): swaps the two `q` lanes.
+pub(crate) fn apply_x_local(amps: &mut [C64], q: usize) {
+    if q >= LANE_MIN_BIT {
+        for_each_pair_lanes(amps, q, |s0, s1| s0.swap_with_slice(s1));
+    } else {
+        let mask = 1usize << q;
+        for p in 0..amps.len() / 2 {
+            let i = insert_zero_bit(p, q);
+            amps.swap(i, i | mask);
+        }
+    }
+}
+
+/// Z sweep on `q` (a CZ whose partner sits outside the slice and is
+/// known set): negates the set-`q` lane.
+pub(crate) fn negate_bit_set(amps: &mut [C64], q: usize) {
+    if q >= LANE_MIN_BIT {
+        for_each_pair_lanes(amps, q, |_s0, s1| {
+            for a in s1.iter_mut() {
+                *a = -*a;
+            }
+        });
+    } else {
+        let mask = 1usize << q;
+        for p in 0..amps.len() / 2 {
+            let i = insert_zero_bit(p, q) | mask;
+            amps[i] = -amps[i];
+        }
+    }
+}
+
+/// CX sweep with both qubits inside the slice: in the sorted pair basis
+/// the control-set lanes are `s1`/`s3` (control = low bit) or `s2`/`s3`
+/// (control = high bit); X on the target swaps them.
+pub(crate) fn apply_cx_local(amps: &mut [C64], control: usize, target: usize) {
+    let (lo, hi) = (control.min(target), control.max(target));
+    if lo >= LANE_MIN_BIT {
+        if control < target {
+            for_each_quad_lanes(amps, lo, hi, |_s0, s1, _s2, s3| s1.swap_with_slice(s3));
+        } else {
+            for_each_quad_lanes(amps, lo, hi, |_s0, _s1, s2, s3| s2.swap_with_slice(s3));
+        }
+    } else {
+        let (cmask, tmask) = (1usize << control, 1usize << target);
+        for p in 0..amps.len() / 4 {
+            let i = insert_zero_bits(p, lo, hi) | cmask;
+            amps.swap(i, i | tmask);
+        }
+    }
+}
+
+/// CZ sweep with both qubits inside the slice: negates the both-set lane.
+pub(crate) fn apply_cz_local(amps: &mut [C64], lo: usize, hi: usize) {
+    if lo >= LANE_MIN_BIT {
+        for_each_quad_lanes(amps, lo, hi, |_s0, _s1, _s2, s3| {
+            for a in s3.iter_mut() {
+                *a = -*a;
+            }
+        });
+    } else {
+        let mask = (1usize << lo) | (1usize << hi);
+        for p in 0..amps.len() / 4 {
+            let i = insert_zero_bits(p, lo, hi) | mask;
+            amps[i] = -amps[i];
+        }
+    }
+}
+
+/// SWAP sweep with both qubits inside the slice: exchanges the two
+/// single-set lanes.
+pub(crate) fn apply_swap_local(amps: &mut [C64], lo: usize, hi: usize) {
+    if lo >= LANE_MIN_BIT {
+        for_each_quad_lanes(amps, lo, hi, |_s0, s1, s2, _s3| s1.swap_with_slice(s2));
+    } else {
+        let (lomask, himask) = (1usize << lo, 1usize << hi);
+        for p in 0..amps.len() / 4 {
+            let i0 = insert_zero_bits(p, lo, hi);
+            amps.swap(i0 | lomask, i0 | himask);
+        }
+    }
+}
+
+/// Entangler-block sweep (4×4 matrix over pair `(lo, hi)`) with both
+/// qubits inside the slice. The matrix is classified once per pass
+/// ([`QuadKernel`]) and the sweep is monomorphized over the resulting
+/// update rule, so the hot loop carries no per-quad dispatch.
+pub(crate) fn apply_block4_local(amps: &mut [C64], lo: usize, hi: usize, m: &[[C64; 4]; 4]) {
+    match QuadKernel::of(m) {
+        QuadKernel::Dense(m) => block4_sweep(amps, lo, hi, |a| quad_update(&m, a)),
+        QuadKernel::Sparse2 { cols, vals } => {
+            block4_sweep(amps, lo, hi, |a| sparse2_update(&cols, &vals, a))
+        }
+    }
+}
+
+/// Hybrid quad enumeration behind [`apply_block4_local`]: contiguous
+/// pair-basis lanes at `lo >= LANE_MIN_BIT`, streamed `hi`-half
+/// sub-blocks below. Both paths feed identical quads to `update` in
+/// identical order.
+fn block4_sweep(
+    amps: &mut [C64],
+    lo: usize,
+    hi: usize,
+    mut update: impl FnMut([C64; 4]) -> [C64; 4],
+) {
+    if lo >= LANE_MIN_BIT {
+        for_each_quad_lanes(amps, lo, hi, |s0, s1, s2, s3| {
+            for (((a0, a1), a2), a3) in s0
+                .iter_mut()
+                .zip(s1.iter_mut())
+                .zip(s2.iter_mut())
+                .zip(s3.iter_mut())
+            {
+                let out = update([*a0, *a1, *a2, *a3]);
+                *a0 = out[0];
+                *a1 = out[1];
+                *a2 = out[2];
+                *a3 = out[3];
+            }
+        });
+    } else {
+        // Low pair bit too small for worthwhile `lo` lanes: pair the two
+        // contiguous `hi` halves instead and stream aligned 2^(lo+1)
+        // sub-blocks through them, so every load sits next to the last.
+        let lomask = 1usize << lo;
+        for_each_pair_lanes(amps, hi, |sa, sb| {
+            for (ca, cb) in sa
+                .chunks_exact_mut(lomask << 1)
+                .zip(sb.chunks_exact_mut(lomask << 1))
+            {
+                for i0 in 0..lomask {
+                    let out = update([ca[i0], ca[i0 | lomask], cb[i0], cb[i0 | lomask]]);
+                    ca[i0] = out[0];
+                    ca[i0 | lomask] = out[1];
+                    cb[i0] = out[2];
+                    cb[i0 | lomask] = out[3];
+                }
+            }
+        });
+    }
+}
+
 /// Spreads `p` over the bit positions of an index, leaving a zero at
 /// position `bit`: bits `0..bit` of `p` stay, bits `bit..` shift up one.
 /// Enumerates all indices whose `bit` is clear as `p` runs over `0..len/2`.
@@ -318,7 +643,32 @@ fn apply_local(shared: &SharedAmps<'_>, op: &PlanOp, base: usize, chunk: usize) 
                 shared.swap(i0 | lomask, i0 | himask);
             }
         }
+        PlanOp::Block4 { lo, hi, ref m } => {
+            let k = QuadKernel::of(m);
+            let (lomask, himask) = (1usize << lo, 1usize << hi);
+            for p in 0..chunk / 4 {
+                let i0 = base + insert_zero_bits(p, lo, hi);
+                block4_update(shared, &k, i0, lomask, himask);
+            }
+        }
     }
+}
+
+/// Loads one pair-basis quad from the shared plane, applies the
+/// classified block kernel, and stores it back.
+#[inline]
+fn block4_update(shared: &SharedAmps<'_>, k: &QuadKernel, i0: usize, lomask: usize, himask: usize) {
+    let a = [
+        shared.load(i0),
+        shared.load(i0 | lomask),
+        shared.load(i0 | himask),
+        shared.load(i0 | lomask | himask),
+    ];
+    let b = k.apply(a);
+    shared.store(i0, b[0]);
+    shared.store(i0 | lomask, b[1]);
+    shared.store(i0 | himask, b[2]);
+    shared.store(i0 | lomask | himask, b[3]);
 }
 
 /// Applies a cross-chunk op over this worker's share of the gate's global
@@ -351,6 +701,14 @@ fn apply_cross(shared: &SharedAmps<'_>, op: &PlanOp, dim: usize, workers: usize,
             for p in parallel::worker_range(dim / 4, workers, w) {
                 let i0 = insert_zero_bits(p, lo, hi);
                 shared.swap(i0 | lomask, i0 | himask);
+            }
+        }
+        PlanOp::Block4 { lo, hi, ref m } => {
+            let k = QuadKernel::of(m);
+            let (lomask, himask) = (1usize << lo, 1usize << hi);
+            for p in parallel::worker_range(dim / 4, workers, w) {
+                let i0 = insert_zero_bits(p, lo, hi);
+                block4_update(shared, &k, i0, lomask, himask);
             }
         }
     }

@@ -11,9 +11,10 @@
 //!   marginals,
 //! - [`CircuitPlan`] / [`PlanCache`]: the circuit compiler — adjacent
 //!   single-qubit gates fuse into one matrix sweep (diagonal runs fold
-//!   through entanglers), and the parameter-free analysis is cached by
-//!   circuit structure so repeated ansatz executions only rebind angles
-//!   (see [`plan`]),
+//!   through entanglers), same-pair entangler groups and their rotation
+//!   sandwiches collapse into single 4×4 block sweeps, and the
+//!   parameter-free analysis is cached by circuit structure so repeated
+//!   ansatz executions only rebind angles (see [`plan`]),
 //! - [`Parallelism`]: serial vs multi-threaded circuit execution — large
 //!   states run the gate kernels on scoped threads (bit-identical to the
 //!   serial path, which consumes the same compiled plan; worker count

@@ -17,13 +17,17 @@
 //!   a bandwidth win even single-threaded, and across threads each shard
 //!   run is embarrassingly parallel.
 //! - **Exchange ops** — single-qubit ops on a global (top-`k`) qubit, CX
-//!   with a global target, SWAP with one global qubit — pair shards along
-//!   one shard-index bit and update amplitudes elementwise across each
-//!   pair: the explicit communication step a distributed backend would
-//!   send messages for.
+//!   with a global target, SWAP with one global qubit, an entangler block
+//!   ([`crate::plan`]'s `Block4`) with its high qubit global — pair
+//!   shards along one shard-index bit and update amplitudes elementwise
+//!   across each pair: the explicit communication step a distributed
+//!   backend would send messages for. A block with *both* qubits global
+//!   generalizes the pairing to shard **quads** along two shard-index
+//!   bits.
 //! - **Plane swaps** — CX with control *and* target global, SWAP of two
 //!   global qubits — only relabel shards and execute as O(1) shard-handle
-//!   swaps: no amplitude data moves.
+//!   swaps: no amplitude data moves. (A dense block never qualifies: its
+//!   4×4 mixes the pair states, so it always moves amplitude data.)
 //!
 //! The plan-analysis pass additionally **remaps hot qubits into the
 //! local range** (see [`ShardPlan::analyze`]): the `k` least pair-touched
@@ -351,6 +355,7 @@ impl ShardedState {
             OneQ { m: [[C64; 2]; 2] },
             CxLocalControl { cmask: usize },
             SwapLocalLo { lomask: usize },
+            Block4Lo { lomask: usize, k: exec::QuadKernel },
         }
         // `min_block`: sub-splits must align so an element's low
         // (condition/pair) bits are preserved within each sub-slice.
@@ -368,6 +373,22 @@ impl ShardedState {
                 Kind::SwapLocalLo { lomask: 1 << lo },
                 1usize << (lo + 1),
             ),
+            PlanOp::Block4 { lo, hi, m } => {
+                if lo >= local_bits {
+                    // Both pair bits are shard-index bits: shards group
+                    // into quads instead of pairs.
+                    self.run_block4_plane_quad(lo, hi, &m, workers);
+                    return;
+                }
+                (
+                    hi,
+                    Kind::Block4Lo {
+                        lomask: 1 << lo,
+                        k: exec::QuadKernel::of(&m),
+                    },
+                    1usize << (lo + 1),
+                )
+            }
             PlanOp::Cz { .. } => unreachable!("CZ is diagonal and never exchanges"),
         };
         debug_assert!(gq >= local_bits);
@@ -422,6 +443,83 @@ impl ShardedState {
                             std::mem::swap(&mut sa[i0 | lomask], &mut sb[i0]);
                         }
                     }
+                    Kind::Block4Lo { lomask, k } => {
+                        // The high pair bit selects the half (sa = clear,
+                        // sb = set); the low bit is in-slice. Quads load
+                        // in pair-basis order s = 2·bit(hi) + bit(lo).
+                        let lo_bit = lomask.trailing_zeros() as usize;
+                        for p in 0..sa.len() / 2 {
+                            let i0 = exec::insert_zero_bit(p, lo_bit);
+                            let out = k.apply([sa[i0], sa[i0 | lomask], sb[i0], sb[i0 | lomask]]);
+                            sa[i0] = out[0];
+                            sa[i0 | lomask] = out[1];
+                            sb[i0] = out[2];
+                            sb[i0 | lomask] = out[3];
+                        }
+                    }
+                }
+            }
+        });
+    }
+
+    /// Runs an entangler block whose pair bits are *both* global: shards
+    /// group into quads along the two shard-index bits and update
+    /// elementwise across each quad (the four shard slices hold the four
+    /// pair-basis amplitude planes). Quads are sub-split across workers
+    /// exactly like exchange pairs.
+    fn run_block4_plane_quad(&mut self, lo: usize, hi: usize, m: &[[C64; 4]; 4], workers: usize) {
+        let local_bits = self.local_bits;
+        let shard_len = 1usize << local_bits;
+        debug_assert!(lo >= local_bits && hi > lo);
+        let (bl, bh) = (1usize << (lo - local_bits), 1usize << (hi - local_bits));
+
+        let k = exec::QuadKernel::of(m);
+        let nquads = self.shards.len() / 4;
+        let splits = workers
+            .div_ceil(nquads.max(1))
+            .next_power_of_two()
+            .clamp(1, shard_len);
+        let sub = shard_len / splits;
+
+        // Pull the four member shards of each quad out of `self.shards`
+        // without overlapping borrows: each slot is taken exactly once.
+        let mut slots: Vec<Option<&mut [C64]>> = self
+            .shards
+            .iter_mut()
+            .map(|s| Some(s.as_mut_slice()))
+            .collect();
+        let mut tasks: Vec<[&mut [C64]; 4]> = Vec::with_capacity(nquads * splits);
+        for s in 0..slots.len() {
+            if s & bl != 0 || s & bh != 0 {
+                continue;
+            }
+            let s0 = slots[s].take().expect("quad base taken once");
+            let s1 = slots[s | bl].take().expect("quad lo taken once");
+            let s2 = slots[s | bh].take().expect("quad hi taken once");
+            let s3 = slots[s | bl | bh].take().expect("quad both taken once");
+            for (((c0, c1), c2), c3) in s0
+                .chunks_mut(sub)
+                .zip(s1.chunks_mut(sub))
+                .zip(s2.chunks_mut(sub))
+                .zip(s3.chunks_mut(sub))
+            {
+                tasks.push([c0, c1, c2, c3]);
+            }
+        }
+        let w = workers.min(tasks.len()).max(1);
+        parallel::for_each_chunk_mut(&mut tasks, w, |_, chunk| {
+            for [s0, s1, s2, s3] in chunk.iter_mut() {
+                for (((a0, a1), a2), a3) in s0
+                    .iter_mut()
+                    .zip(s1.iter_mut())
+                    .zip(s2.iter_mut())
+                    .zip(s3.iter_mut())
+                {
+                    let out = k.apply([*a0, *a1, *a2, *a3]);
+                    *a0 = out[0];
+                    *a1 = out[1];
+                    *a2 = out[2];
+                    *a3 = out[3];
                 }
             }
         });
@@ -510,48 +608,23 @@ fn apply_local_op(shard: &mut [C64], base: usize, local_bits: usize, op: &PlanOp
     match *op {
         PlanOp::OneQ { q, m } => {
             debug_assert!(q < local_bits);
-            let mask = 1usize << q;
-            for p in 0..shard.len() / 2 {
-                let i = exec::insert_zero_bit(p, q);
-                let (b0, b1) = exec::pair_update(&m, shard[i], shard[i | mask]);
-                shard[i] = b0;
-                shard[i | mask] = b1;
-            }
+            exec::apply_1q_local(shard, q, &m);
         }
         PlanOp::Cx { control, target } => {
             debug_assert!(target < local_bits);
-            let tmask = 1usize << target;
             if control < local_bits {
-                let cmask = 1usize << control;
-                let (lo, hi) = (control.min(target), control.max(target));
-                for p in 0..shard.len() / 4 {
-                    let i = exec::insert_zero_bits(p, lo, hi) | cmask;
-                    shard.swap(i, i | tmask);
-                }
+                exec::apply_cx_local(shard, control, target);
             } else if base & (1usize << control) != 0 {
                 // Global control: this whole shard sits in the controlled
                 // subspace; apply X on the target within it.
-                for p in 0..shard.len() / 2 {
-                    let i = exec::insert_zero_bit(p, target);
-                    shard.swap(i, i | tmask);
-                }
+                exec::apply_x_local(shard, target);
             }
         }
         PlanOp::Cz { lo, hi } => match (lo < local_bits, hi < local_bits) {
-            (true, true) => {
-                let mask = (1usize << lo) | (1usize << hi);
-                for p in 0..shard.len() / 4 {
-                    let i = exec::insert_zero_bits(p, lo, hi) | mask;
-                    shard[i] = -shard[i];
-                }
-            }
+            (true, true) => exec::apply_cz_local(shard, lo, hi),
             (true, false) => {
                 if base & (1usize << hi) != 0 {
-                    let lomask = 1usize << lo;
-                    for p in 0..shard.len() / 2 {
-                        let i = exec::insert_zero_bit(p, lo) | lomask;
-                        shard[i] = -shard[i];
-                    }
+                    exec::negate_bit_set(shard, lo);
                 }
             }
             (false, false) => {
@@ -565,11 +638,11 @@ fn apply_local_op(shard: &mut [C64], base: usize, local_bits: usize, op: &PlanOp
         },
         PlanOp::Swap { lo, hi } => {
             debug_assert!(hi < local_bits);
-            let (lomask, himask) = (1usize << lo, 1usize << hi);
-            for p in 0..shard.len() / 4 {
-                let i0 = exec::insert_zero_bits(p, lo, hi);
-                shard.swap(i0 | lomask, i0 | himask);
-            }
+            exec::apply_swap_local(shard, lo, hi);
+        }
+        PlanOp::Block4 { lo, hi, ref m } => {
+            debug_assert!(hi < local_bits, "local blocks have both pair bits local");
+            exec::apply_block4_local(shard, lo, hi, m);
         }
     }
 }
@@ -739,7 +812,9 @@ mod tests {
         let n = 4;
         let mut c = Circuit::new(n);
         c.x(2).swap(2, 3).cx(2, 3);
-        let plan = CircuitPlan::compile(&c);
+        // Unblocked: block fusion would collapse the swap+cx pair into a
+        // dense Block4, which always moves data and never plane-swaps.
+        let plan = CircuitPlan::compile_unblocked(&c);
         let sp = ShardPlan::with_layout(&plan, 4, &[0, 1, 2, 3]);
         assert_eq!(sp.plane_swap_count(), 2);
         let mut serial = Statevector::zero(n);

@@ -337,55 +337,26 @@ impl Statevector {
         }
     }
 
-    /// One plan op, serially. Single-qubit sweeps share `pair_update`
-    /// with the threaded engine (identical arithmetic, so identical
-    /// bits); the two-qubit kernels are pure swaps/negations — exact in
-    /// floating point — walked in blocked loops, so any enumeration order
-    /// yields the same bits as the threaded partitioning.
+    /// One plan op, serially. Single-qubit and block sweeps share
+    /// `pair_update`/`quad_update` with the threaded engine (identical
+    /// arithmetic, so identical bits); the sparse two-qubit kernels are
+    /// pure swaps/negations — exact in floating point — so any
+    /// enumeration order yields the same bits as the threaded
+    /// partitioning. All kernels go through the hybrid sweeps in
+    /// [`crate::exec`]: contiguous stride-1 lanes (branch-free,
+    /// autovectorizable) when the pair's low bit allows long runs,
+    /// index-spread enumeration below `exec::LANE_MIN_BIT`.
     fn apply_plan_op(&mut self, op: &PlanOp) {
         match *op {
             PlanOp::OneQ { q, m } => self.apply_1q(q, m),
             PlanOp::Cx { control, target } => {
-                let (cmask, tmask) = (1usize << control, 1usize << target);
-                let (lo, hi) = (control.min(target), control.max(target));
-                self.for_each_pair_base(lo, hi, |amps, i0| {
-                    let i = i0 | cmask;
-                    amps.swap(i, i | tmask);
-                });
+                exec::apply_cx_local(&mut self.amps, control, target);
             }
-            PlanOp::Cz { lo, hi } => {
-                let mask = (1usize << lo) | (1usize << hi);
-                self.for_each_pair_base(lo, hi, |amps, i0| {
-                    let i = i0 | mask;
-                    amps[i] = -amps[i];
-                });
+            PlanOp::Cz { lo, hi } => exec::apply_cz_local(&mut self.amps, lo, hi),
+            PlanOp::Swap { lo, hi } => exec::apply_swap_local(&mut self.amps, lo, hi),
+            PlanOp::Block4 { lo, hi, ref m } => {
+                exec::apply_block4_local(&mut self.amps, lo, hi, m);
             }
-            PlanOp::Swap { lo, hi } => {
-                let (lomask, himask) = (1usize << lo, 1usize << hi);
-                self.for_each_pair_base(lo, hi, |amps, i0| {
-                    amps.swap(i0 | lomask, i0 | himask);
-                });
-            }
-        }
-    }
-
-    /// Calls `f` for every basis index with bits `lo` and `hi` clear
-    /// (`lo < hi`), in blocked nested loops — no per-element bit
-    /// spreading, sequential innermost access.
-    #[inline]
-    fn for_each_pair_base(&mut self, lo: usize, hi: usize, mut f: impl FnMut(&mut [C64], usize)) {
-        let (lomask, himask) = (1usize << lo, 1usize << hi);
-        let dim = self.amps.len();
-        let mut outer = 0;
-        while outer < dim {
-            let mut mid = outer;
-            while mid < outer + himask {
-                for i in mid..mid + lomask {
-                    f(&mut self.amps, i);
-                }
-                mid += lomask << 1;
-            }
-            outer += himask << 1;
         }
     }
 
@@ -409,22 +380,9 @@ impl Statevector {
 
     fn apply_1q(&mut self, q: usize, m: [[C64; 2]; 2]) {
         debug_assert!(q < self.num_qubits);
-        let mask = 1usize << q;
-        let dim = self.amps.len();
-        // Walk 2^(q+1)-amplitude blocks; the first half of each block
-        // pairs elementwise with the second. Same arithmetic as the
-        // threaded kernel (`exec::pair_update`), so results are
-        // bit-identical.
-        let mut base = 0;
-        while base < dim {
-            for i in base..base + mask {
-                let j = i | mask;
-                let (b0, b1) = exec::pair_update(&m, self.amps[i], self.amps[j]);
-                self.amps[i] = b0;
-                self.amps[j] = b1;
-            }
-            base += mask << 1;
-        }
+        // Same arithmetic as the threaded kernel (`exec::pair_update`),
+        // so results are bit-identical.
+        exec::apply_1q_local(&mut self.amps, q, &m);
     }
 
     fn apply_cx(&mut self, control: usize, target: usize) {

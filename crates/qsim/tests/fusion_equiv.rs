@@ -12,6 +12,11 @@
 //! 3. **Rebind ≡ fresh compile, bitwise.** A cached structure rebound
 //!    with new rotation angles multiplies exactly the matrices a fresh
 //!    compile would, so the resulting states are bit-identical.
+//! 4. **Entangler blocks preserve the state.** Ansatz-shaped circuits
+//!    (rotation sandwiches around full / linear / circular entangler
+//!    maps) always lower to at least one `Block4`, the blocked plan
+//!    matches gate-by-gate execution to 1e-12, and rebinding a cached
+//!    blocked structure reproduces a fresh compile bit for bit.
 
 use proptest::prelude::*;
 use qsim::{Circuit, CircuitPlan, Parallelism, PlanCache, Statevector};
@@ -65,6 +70,48 @@ fn reangled(circuit: &Circuit, seed: u64) -> Circuit {
             g => g,
         };
         c.push(g);
+    }
+    c
+}
+
+/// The qubit pairs of an EfficientSU2-style entangler layer. Built
+/// inline: these tests cannot depend on the `vqe` crate (it depends on
+/// `qsim`), so the ansatz shapes are reproduced here.
+fn entangler_pairs(n: usize, map: u8) -> Vec<(usize, usize)> {
+    match map {
+        // Full: every ordered pair (i, j) with i < j.
+        0 => (0..n)
+            .flat_map(|i| (i + 1..n).map(move |j| (i, j)))
+            .collect(),
+        // Linear: nearest neighbours.
+        1 => (0..n - 1).map(|i| (i, i + 1)).collect(),
+        // Circular: nearest neighbours plus the wrap-around link.
+        _ => (0..n).map(|i| (i, (i + 1) % n)).collect(),
+    }
+}
+
+/// An EfficientSU2-shaped circuit: `reps` repetitions of per-qubit Ry·Rz
+/// sandwiches followed by a CX entangler layer, plus a final rotation
+/// layer, with angles drawn from a seeded stream. The shape block fusion
+/// is built for: every entangler layer opens pair blocks that absorb the
+/// sandwiches around them.
+fn su2_ansatz(n: usize, reps: usize, map: u8, seed: u64) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new(n);
+    for _ in 0..reps {
+        for q in 0..n {
+            c.ry(q, rng.random_range(-3.2..3.2));
+        }
+        for q in 0..n {
+            c.rz(q, rng.random_range(-3.2..3.2));
+        }
+        for (a, b) in entangler_pairs(n, map) {
+            c.cx(a, b);
+        }
+    }
+    for q in 0..n {
+        c.ry(q, rng.random_range(-3.2..3.2));
+        c.rz(q, rng.random_range(-3.2..3.2));
     }
     c
 }
@@ -135,6 +182,67 @@ proptest! {
         cache.plan(&first);
         let rebound = cache.plan(&second); // structure hit, parameters rebound
         prop_assert_eq!(cache.hits(), 1);
+
+        let fresh = CircuitPlan::compile(&second);
+        let mut a = Statevector::zero(n);
+        a.apply_plan(&rebound);
+        let mut b = Statevector::zero(n);
+        b.apply_plan(&fresh);
+        prop_assert_eq!(a.amplitudes(), b.amplitudes());
+    }
+
+    /// Ansatz-shaped circuits always lower to entangler blocks, and the
+    /// blocked plan prepares the gate-by-gate state to 1e-12 for every
+    /// entanglement map.
+    #[test]
+    fn ansatz_blocks_match_unfused_to_1e12(
+        n in 2usize..=12,
+        reps in 1usize..=3,
+        map in 0u8..3,
+        seed in 0u64..100_000,
+    ) {
+        let circuit = su2_ansatz(n, reps, map, seed);
+        let plan = CircuitPlan::compile(&circuit);
+        prop_assert!(
+            plan.block_count() > 0,
+            "no blocks: {} qubits, {} reps, map {}, seed {}",
+            n, reps, map, seed
+        );
+        let mut blocked = Statevector::zero(n);
+        blocked.apply_plan(&plan);
+        let mut unfused = Statevector::zero(n);
+        unfused.apply_circuit_unfused(&circuit);
+        for (i, (a, b)) in blocked
+            .amplitudes()
+            .iter()
+            .zip(unfused.amplitudes())
+            .enumerate()
+        {
+            prop_assert!(
+                (*a - *b).abs() < 1e-12,
+                "amplitude {} differs by {:e} ({} qubits, {} reps, map {}, seed {})",
+                i, (*a - *b).abs(), n, reps, map, seed
+            );
+        }
+    }
+
+    /// A cached ansatz structure rebound with fresh angles rebinds its
+    /// block matrices too: bit-identical to a fresh compile of the
+    /// reangled circuit.
+    #[test]
+    fn block4_rebind_matches_fresh_compile(
+        n in 2usize..=10,
+        map in 0u8..3,
+        seed in 0u64..100_000,
+    ) {
+        let first = su2_ansatz(n, 2, map, seed);
+        let second = reangled(&first, seed ^ 0x51f1_57a7);
+
+        let mut cache = PlanCache::new();
+        cache.plan(&first);
+        let rebound = cache.plan(&second); // structure hit, blocks rebound
+        prop_assert_eq!(cache.hits(), 1);
+        prop_assert!(rebound.block_count() > 0);
 
         let fresh = CircuitPlan::compile(&second);
         let mut a = Statevector::zero(n);

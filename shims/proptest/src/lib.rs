@@ -34,8 +34,28 @@ pub mod test_runner {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    /// Number of cases generated per property.
+    /// Number of cases generated per property when `PROPTEST_CASES` is
+    /// not set.
     pub const DEFAULT_CASES: u32 = 64;
+
+    /// Number of cases to generate per property: the `PROPTEST_CASES`
+    /// environment variable when set (the tiered-CI knob — the deep
+    /// equivalence job raises it to 4× the default), otherwise
+    /// [`DEFAULT_CASES`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `PROPTEST_CASES` is set but is not a positive integer —
+    /// a silently ignored knob would make the deep tier vacuous.
+    pub fn cases() -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(v) => match v.trim().parse::<u32>() {
+                Ok(n) if n > 0 => n,
+                _ => panic!("PROPTEST_CASES must be a positive integer, got {v:?}"),
+            },
+            Err(_) => DEFAULT_CASES,
+        }
+    }
 
     /// Holds the RNG driving one property's cases.
     pub struct TestRunner {
@@ -73,8 +93,9 @@ pub mod prelude {
 }
 
 /// Define property tests: each `fn name(arg in strategy, ...) { body }`
-/// becomes a `#[test]` running [`test_runner::DEFAULT_CASES`] generated
-/// cases.
+/// becomes a `#[test]` running [`test_runner::cases`] generated cases
+/// (the `PROPTEST_CASES` environment variable, or
+/// [`test_runner::DEFAULT_CASES`] when unset).
 #[macro_export]
 macro_rules! proptest {
     ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
@@ -84,7 +105,7 @@ macro_rules! proptest {
                 let mut __runner =
                     $crate::test_runner::TestRunner::deterministic(stringify!($name));
                 $(let $arg = $strat;)+
-                for __case in 0..$crate::test_runner::DEFAULT_CASES {
+                for __case in 0..$crate::test_runner::cases() {
                     $(let $arg = $crate::strategy::Strategy::generate(&$arg, __runner.rng());)+
                     $body
                 }
@@ -135,4 +156,36 @@ macro_rules! prop_oneof {
             $($crate::strategy::Strategy::boxed($s)),+
         ])
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_runner::{cases, DEFAULT_CASES};
+
+    #[test]
+    fn cases_env_knob_overrides_default() {
+        // This single test owns the process-global env var: set, check,
+        // and restore serially so no other reader ever races it.
+        let saved = std::env::var("PROPTEST_CASES").ok();
+        std::env::remove_var("PROPTEST_CASES");
+        assert_eq!(cases(), DEFAULT_CASES);
+        std::env::set_var("PROPTEST_CASES", "256");
+        assert_eq!(cases(), 256);
+        std::env::set_var("PROPTEST_CASES", " 8 ");
+        assert_eq!(cases(), 8, "surrounding whitespace is tolerated");
+        std::env::set_var("PROPTEST_CASES", "zero");
+        assert!(
+            std::panic::catch_unwind(cases).is_err(),
+            "malformed knob must panic"
+        );
+        std::env::set_var("PROPTEST_CASES", "0");
+        assert!(
+            std::panic::catch_unwind(cases).is_err(),
+            "zero cases would be vacuous"
+        );
+        match saved {
+            Some(v) => std::env::set_var("PROPTEST_CASES", v),
+            None => std::env::remove_var("PROPTEST_CASES"),
+        }
+    }
 }
