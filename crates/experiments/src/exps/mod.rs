@@ -4,4 +4,5 @@
 pub mod ablation;
 pub mod structural;
 pub mod sweeps;
+pub mod transport;
 pub mod tuning;

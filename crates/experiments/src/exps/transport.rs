@@ -1,0 +1,92 @@
+//! Shard-transport accounting: what each backend moves to execute one
+//! ansatz, and what that movement costs.
+//!
+//! For each register size the same exchange-minimized [`ShardPlan`] runs
+//! through both transport backends — zero-copy in-process handle swaps
+//! and message-passing rank threads — and the table reports the
+//! per-apply movement counters ([`qsim::TransportCounters`]) next to the
+//! measured wall time. The amplitudes are asserted bit-identical across
+//! backends before anything is reported, so every row describes the
+//! same computation; only the data movement differs.
+
+use crate::harness::Options;
+use crate::report::{fmt, results_path, Table};
+use qsim::{CircuitPlan, ShardPlan, ShardedState, TransportMode};
+use std::time::Instant;
+use vqe::{EfficientSu2, Entanglement};
+
+/// Applies `sp` on a fresh state through `mode`, returning the final
+/// norm-check value, the movement counters, and the mean wall time over
+/// `reps` applies.
+fn run_backend(
+    num_qubits: usize,
+    shards: usize,
+    sp: &ShardPlan,
+    mode: TransportMode,
+    reps: u32,
+) -> (Vec<qsim::C64>, qsim::TransportCounters, f64) {
+    let mut last = None;
+    let start = Instant::now();
+    for _ in 0..reps {
+        let mut st = ShardedState::zero(num_qubits, shards).with_transport(mode);
+        st.apply_shard_plan(sp);
+        last = Some(st);
+    }
+    let ms = start.elapsed().as_secs_f64() * 1e3 / f64::from(reps);
+    let st = last.expect("at least one rep");
+    let stats = st.shard_stats();
+    (st.to_statevector().amplitudes().to_vec(), stats, ms)
+}
+
+/// The `transport` experiment: per-backend movement counters and apply
+/// times for a 2-rep EfficientSU2 ansatz across register sizes.
+pub fn transport(opts: &Options) {
+    let sizes: &[(usize, usize)] = if opts.full {
+        &[(12, 8), (16, 16), (18, 64)]
+    } else {
+        &[(10, 8), (12, 16)]
+    };
+    let reps = if opts.full { 5 } else { 3 };
+    let mut t = Table::new([
+        "qubits",
+        "shards",
+        "backend",
+        "local runs",
+        "exchanges",
+        "quad exch",
+        "plane swaps",
+        "sub splits",
+        "messages",
+        "MiB moved",
+        "ms/apply",
+    ]);
+    for &(n, shards) in sizes {
+        let ansatz = EfficientSu2::new(n, 2, Entanglement::Linear);
+        let circuit = ansatz.circuit(&ansatz.initial_parameters(7));
+        let plan = CircuitPlan::compile(&circuit);
+        let sp = ShardPlan::analyze(&plan, shards);
+        let mut reference: Option<Vec<qsim::C64>> = None;
+        for mode in [TransportMode::Local, TransportMode::Channel] {
+            let (amps, stats, ms) = run_backend(n, shards, &sp, mode, reps);
+            match &reference {
+                None => reference = Some(amps),
+                Some(r) => assert_eq!(r, &amps, "{n}q/{shards}: transports must be bit-identical"),
+            }
+            t.row([
+                n.to_string(),
+                shards.to_string(),
+                mode.name().to_string(),
+                stats.local_runs.to_string(),
+                stats.exchanges.to_string(),
+                stats.quad_exchanges.to_string(),
+                stats.plane_swaps.to_string(),
+                stats.sub_splits.to_string(),
+                stats.messages.to_string(),
+                fmt(stats.bytes_moved as f64 / (1024.0 * 1024.0)),
+                fmt(ms),
+            ]);
+        }
+    }
+    t.print();
+    t.write_reports(&results_path(&opts.out_dir, "transport", "transport.csv"));
+}

@@ -1,6 +1,6 @@
 //! Process-wide execution configuration, read from the environment once.
 //!
-//! Three knobs control how the workspace's engines spread work:
+//! Four knobs control how the workspace's engines spread work:
 //!
 //! - [`NUM_THREADS_ENV`] (`VARSAW_NUM_THREADS`): the worker-thread count
 //!   behind [`crate::num_threads`], shared by the statevector engine, the
@@ -10,7 +10,12 @@
 //!   by `qsim::shard`'s auto-sizing heuristic;
 //! - [`SCHED_WORKERS_ENV`] (`VARSAW_SCHED_WORKERS`): an override for the
 //!   job-scheduler worker count behind [`crate::sched_workers`], consulted
-//!   by `sched::JobQueue` when no explicit worker count is passed.
+//!   by `sched::JobQueue` when no explicit worker count is passed;
+//! - [`SHARD_TRANSPORT_ENV`] (`VARSAW_SHARD_TRANSPORT`): the shard
+//!   transport backend behind [`crate::shard_transport`], consulted by
+//!   `qsim::transport` when a sharded state is built (`local` keeps the
+//!   zero-copy in-process backend, `channel` routes exchanges through
+//!   message-passing rank threads).
 //!
 //! Earlier revisions re-parsed `VARSAW_NUM_THREADS` at every call site,
 //! which both repeated the work on hot paths and silently swallowed
@@ -48,6 +53,26 @@ pub const NUM_SHARDS_ENV: &str = "VARSAW_NUM_SHARDS";
 /// explicit count). Unset means "follow [`NUM_THREADS_ENV`]".
 pub const SCHED_WORKERS_ENV: &str = "VARSAW_SCHED_WORKERS";
 
+/// Environment variable selecting the shard-transport backend sharded
+/// execution moves amplitudes with (see `qsim::transport`). Valid values
+/// are the names in [`SHARD_TRANSPORT_NAMES`]; anything else is reported
+/// on stderr with the valid set and treated as unset (engines then use
+/// their in-process default).
+pub const SHARD_TRANSPORT_ENV: &str = "VARSAW_SHARD_TRANSPORT";
+
+/// The valid [`SHARD_TRANSPORT_ENV`] values, for error messages and docs.
+pub const SHARD_TRANSPORT_NAMES: [&str; 2] = ["local", "channel"];
+
+/// A validated [`SHARD_TRANSPORT_ENV`] value. The `parallel` crate only
+/// names the backends; `qsim::transport` owns their semantics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardTransport {
+    /// In-process handle swaps and shared-memory pairwise walks.
+    Local,
+    /// Rank threads exchanging serialized amplitude words over channels.
+    Channel,
+}
+
 /// Hard upper bound on the worker count (sanity cap for typos in the
 /// environment variable).
 pub const MAX_THREADS: usize = 64;
@@ -67,6 +92,9 @@ pub struct Config {
     /// Job-scheduler worker-count override, or `None` to follow
     /// [`Config::threads`]; from [`SCHED_WORKERS_ENV`].
     pub sched_workers: Option<usize>,
+    /// Shard-transport backend override, or `None` to let engines use
+    /// their in-process default; from [`SHARD_TRANSPORT_ENV`].
+    pub shard_transport: Option<ShardTransport>,
 }
 
 impl Config {
@@ -77,6 +105,7 @@ impl Config {
         threads_raw: Option<&str>,
         shards_raw: Option<&str>,
         sched_raw: Option<&str>,
+        transport_raw: Option<&str>,
         default_threads: usize,
     ) -> (Config, Vec<String>) {
         let mut warnings = Vec::new();
@@ -121,14 +150,38 @@ impl Config {
             other => other,
         };
 
+        let shard_transport = parse_transport(transport_raw, &mut warnings);
+
         (
             Config {
                 threads,
                 shards,
                 sched_workers,
+                shard_transport,
             },
             warnings,
         )
+    }
+}
+
+/// Parses [`SHARD_TRANSPORT_ENV`]. `None`/empty means "not set" (no
+/// warning); an unknown name produces a warning listing the valid set
+/// and counts as unset, so engines fall back to their `local` default.
+fn parse_transport(raw: Option<&str>, warnings: &mut Vec<String>) -> Option<ShardTransport> {
+    let raw = raw?.trim();
+    if raw.is_empty() {
+        return None;
+    }
+    match raw.to_ascii_lowercase().as_str() {
+        "local" => Some(ShardTransport::Local),
+        "channel" => Some(ShardTransport::Channel),
+        _ => {
+            warnings.push(format!(
+                "{SHARD_TRANSPORT_ENV}={raw:?} is not a known transport \
+                 (valid: {SHARD_TRANSPORT_NAMES:?}); using \"local\""
+            ));
+            None
+        }
     }
 }
 
@@ -160,6 +213,7 @@ pub fn get() -> &'static Config {
         let threads_raw = std::env::var(NUM_THREADS_ENV).ok();
         let shards_raw = std::env::var(NUM_SHARDS_ENV).ok();
         let sched_raw = std::env::var(SCHED_WORKERS_ENV).ok();
+        let transport_raw = std::env::var(SHARD_TRANSPORT_ENV).ok();
         let default_threads = std::thread::available_parallelism()
             .map(|p| p.get())
             .unwrap_or(1);
@@ -167,6 +221,7 @@ pub fn get() -> &'static Config {
             threads_raw.as_deref(),
             shards_raw.as_deref(),
             sched_raw.as_deref(),
+            transport_raw.as_deref(),
             default_threads,
         );
         for w in &warnings {
@@ -181,7 +236,7 @@ mod tests {
     use super::*;
 
     fn resolve(threads: Option<&str>, shards: Option<&str>) -> (Config, Vec<String>) {
-        Config::resolve(threads, shards, None, 4)
+        Config::resolve(threads, shards, None, None, 4)
     }
 
     fn defaults() -> Config {
@@ -189,6 +244,7 @@ mod tests {
             threads: 4,
             shards: None,
             sched_workers: None,
+            shard_transport: None,
         }
     }
 
@@ -214,7 +270,8 @@ mod tests {
             Config {
                 threads: 3,
                 shards: Some(8),
-                sched_workers: None
+                sched_workers: None,
+                shard_transport: None
             }
         );
         assert!(w.is_empty());
@@ -254,23 +311,56 @@ mod tests {
 
     #[test]
     fn default_threads_are_clamped_to_the_cap() {
-        let (c, _) = Config::resolve(None, None, None, 1000);
+        let (c, _) = Config::resolve(None, None, None, None, 1000);
         assert_eq!(c.threads, MAX_THREADS);
-        let (c, _) = Config::resolve(None, None, None, 0);
+        let (c, _) = Config::resolve(None, None, None, None, 0);
         assert_eq!(c.threads, 1);
     }
 
     #[test]
     fn sched_workers_parse_and_cap() {
-        let (c, w) = Config::resolve(None, None, Some("3"), 4);
+        let (c, w) = Config::resolve(None, None, Some("3"), None, 4);
         assert_eq!(c.sched_workers, Some(3));
         assert!(w.is_empty());
-        let (c, w) = Config::resolve(None, None, Some("9999"), 4);
+        let (c, w) = Config::resolve(None, None, Some("9999"), None, 4);
         assert_eq!(c.sched_workers, Some(MAX_THREADS));
         assert_eq!(w.len(), 1);
         assert!(w[0].contains(SCHED_WORKERS_ENV), "{w:?}");
-        let (c, w) = Config::resolve(None, None, Some("zero"), 4);
+        let (c, w) = Config::resolve(None, None, Some("zero"), None, 4);
         assert_eq!(c.sched_workers, None);
         assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn transport_names_parse_case_insensitively() {
+        for (raw, want) in [
+            ("local", ShardTransport::Local),
+            ("Local", ShardTransport::Local),
+            ("channel", ShardTransport::Channel),
+            ("CHANNEL", ShardTransport::Channel),
+            (" channel ", ShardTransport::Channel),
+        ] {
+            let (c, w) = Config::resolve(None, None, None, Some(raw), 4);
+            assert_eq!(c.shard_transport, Some(want), "raw {raw:?}");
+            assert!(w.is_empty(), "raw {raw:?}: {w:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_transport_names_warn_with_the_valid_set_and_fall_back() {
+        let (c, w) = Config::resolve(None, None, None, Some("sockets"), 4);
+        assert_eq!(c.shard_transport, None, "unknown names fall back to unset");
+        assert_eq!(w.len(), 1, "{w:?}");
+        assert!(w[0].contains(SHARD_TRANSPORT_ENV), "{w:?}");
+        for name in SHARD_TRANSPORT_NAMES {
+            assert!(w[0].contains(name), "warning must list {name:?}: {w:?}");
+        }
+    }
+
+    #[test]
+    fn empty_transport_counts_as_unset() {
+        let (c, w) = Config::resolve(None, None, None, Some("  "), 4);
+        assert_eq!(c.shard_transport, None);
+        assert!(w.is_empty());
     }
 }

@@ -39,7 +39,10 @@
 
 pub mod config;
 
-pub use config::{MAX_SHARDS, MAX_THREADS, NUM_SHARDS_ENV, NUM_THREADS_ENV, SCHED_WORKERS_ENV};
+pub use config::{
+    MAX_SHARDS, MAX_THREADS, NUM_SHARDS_ENV, NUM_THREADS_ENV, SCHED_WORKERS_ENV,
+    SHARD_TRANSPORT_ENV, SHARD_TRANSPORT_NAMES,
+};
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -128,6 +131,26 @@ pub fn num_shards() -> Option<usize> {
 pub fn sched_workers() -> usize {
     let config = config::get();
     config.sched_workers.unwrap_or(config.threads)
+}
+
+/// The shard-transport backend override, or `None` when unset (engines
+/// then default to the zero-copy in-process backend).
+///
+/// Resolved from the `VARSAW_SHARD_TRANSPORT` environment variable — read
+/// once per process and cached, unknown names reported with the valid set
+/// (see [`config`]). The consumer is `qsim::transport`, which maps
+/// [`config::ShardTransport::Local`] to its in-process handle-swap
+/// backend and [`config::ShardTransport::Channel`] to its
+/// message-passing rank-thread backend.
+///
+/// # Examples
+///
+/// ```
+/// // Unset in this process: engines use the in-process default.
+/// assert_eq!(parallel::shard_transport(), None);
+/// ```
+pub fn shard_transport() -> Option<config::ShardTransport> {
+    config::get().shard_transport
 }
 
 /// The contiguous index range worker `w` of `workers` owns in `0..len`.

@@ -196,7 +196,7 @@ pub(crate) fn sparse2_update(
 /// — cross-tier results stay bit-identical — and rebinding needs no
 /// bookkeeping: a rebound matrix is simply re-classified at its next
 /// pass.
-#[derive(Clone, Copy)]
+#[derive(Clone, Copy, Debug)]
 pub(crate) enum QuadKernel {
     /// Full 16-multiply [`quad_update`].
     Dense([[C64; 4]; 4]),

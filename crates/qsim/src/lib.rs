@@ -26,6 +26,12 @@
 //!   go through explicit pairwise shard exchanges or O(1) plane swaps,
 //!   and a plan-analysis pass ([`plan::ShardPlan`]) remaps hot qubits
 //!   local first (bit-identical to the dense paths; see [`shard`]),
+//! - [`transport`]: the rank-transport seam under sharded execution —
+//!   one [`transport::ShardTransport`] trait, two backends
+//!   (zero-copy in-process [`transport::LocalSwap`], message-passing
+//!   [`transport::ChannelRanks`] rank threads), typed
+//!   [`TransportError`] failures, and per-backend movement counters
+//!   ([`TransportCounters`], via `ShardedState::shard_stats`),
 //! - [`sample_counts`] / [`sample_counts_many`]: seeded shot sampling,
 //!   serial and batched-parallel,
 //! - [`lowest_eigenvalue`]: matrix-free Lanczos for exact reference
@@ -59,6 +65,7 @@ mod qasm;
 mod sampler;
 pub mod shard;
 mod state;
+pub mod transport;
 
 pub use circuit::{Circuit, CircuitStats};
 pub use complex::C64;
@@ -70,3 +77,4 @@ pub use qasm::to_qasm;
 pub use sampler::{sample_counts, sample_counts_many, sample_index};
 pub use shard::{ShardedState, Sharding};
 pub use state::{CapacityError, Statevector};
+pub use transport::{FaultInjection, TransportCounters, TransportError, TransportMode};

@@ -35,6 +35,19 @@
 //! every exchange in an ansatz-shaped circuit into a local op. The state
 //! records the adopted layout and un-permutes when read back.
 //!
+//! # The transport seam
+//!
+//! This module is pure **orchestration**: it classifies each plan step
+//! and dispatches the resulting movement onto a
+//! [`crate::transport::ShardTransport`] session. Where amplitudes live
+//! and how they cross shard boundaries is the backend's business —
+//! [`crate::transport::LocalSwap`] keeps today's zero-copy shared-memory
+//! walk, [`crate::transport::ChannelRanks`] runs one rank thread per
+//! shard with serialized message passing — selected per state via
+//! [`ShardedState::with_transport`] or process-wide via the
+//! `VARSAW_SHARD_TRANSPORT` environment variable. Movement tallies
+//! accumulate in [`ShardedState::shard_stats`].
+//!
 //! # Bit-identical results
 //!
 //! Sharded execution performs the exact same floating-point operations
@@ -67,6 +80,10 @@ use crate::complex::C64;
 use crate::exec::{self, Parallelism};
 use crate::plan::{check_shards, CircuitPlan, PlanOp, ShardPlan, ShardStep};
 use crate::state::{CapacityError, Statevector};
+use crate::transport::{
+    classify_exchange, ExchangeStep, FaultInjection, LocalOps, ShardTransport, TransportCounters,
+    TransportError, TransportMode,
+};
 
 /// How an executor decomposes statevector simulation across amplitude
 /// shards (the `qsim`-level twin of [`Parallelism`]: shards decide the
@@ -134,6 +151,12 @@ pub struct ShardedState {
     /// plan's layout.
     dirty: bool,
     parallelism: Parallelism,
+    transport: TransportMode,
+    fault: FaultInjection,
+    counters: TransportCounters,
+    /// Set when a transport session failed mid-plan: the shard contents
+    /// are no longer a coherent state, so further use is refused.
+    poisoned: bool,
 }
 
 impl ShardedState {
@@ -191,6 +214,10 @@ impl ShardedState {
             layout: (0..num_qubits).collect(),
             dirty: false,
             parallelism: Parallelism::Auto,
+            transport: TransportMode::from_env(),
+            fault: FaultInjection::none(),
+            counters: TransportCounters::default(),
+            poisoned: false,
         })
     }
 
@@ -214,6 +241,10 @@ impl ShardedState {
             layout: (0..state.num_qubits()).collect(),
             dirty: true,
             parallelism: Parallelism::Auto,
+            transport: TransportMode::from_env(),
+            fault: FaultInjection::none(),
+            counters: TransportCounters::default(),
+            poisoned: false,
         }
     }
 
@@ -223,6 +254,35 @@ impl ShardedState {
     pub fn with_parallelism(mut self, mode: Parallelism) -> Self {
         self.parallelism = mode;
         self
+    }
+
+    /// Sets which transport backend moves amplitudes between shards
+    /// (default: the validated `VARSAW_SHARD_TRANSPORT` value, falling
+    /// back to [`TransportMode::Local`]). Like parallelism, the choice
+    /// never changes results — both backends are bit-identical.
+    pub fn with_transport(mut self, mode: TransportMode) -> Self {
+        self.transport = mode;
+        self
+    }
+
+    /// Installs chaos-testing fault injection for subsequent transport
+    /// sessions (see [`FaultInjection`]; testing hook).
+    pub fn with_fault(mut self, fault: FaultInjection) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    /// The transport backend this state moves amplitudes with.
+    pub fn transport(&self) -> TransportMode {
+        self.transport
+    }
+
+    /// Movement tallies accumulated across every plan applied so far:
+    /// exchange/plane-swap/sub-split counts for any backend, plus
+    /// message and wire-byte volume for message-passing backends (zero
+    /// under [`TransportMode::Local`], which moves no messages).
+    pub fn shard_stats(&self) -> TransportCounters {
+        self.counters
     }
 
     /// The number of qubits.
@@ -255,14 +315,31 @@ impl ShardedState {
     ///
     /// # Panics
     ///
-    /// Panics if the plan's qubit count differs from the state's.
+    /// Panics if the plan's qubit count differs from the state's, or on
+    /// a transport failure (see [`ShardedState::try_apply_plan`] for the
+    /// fallible variant).
     pub fn apply_plan(&mut self, plan: &CircuitPlan) {
+        self.try_apply_plan(plan).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Like [`ShardedState::apply_plan`], but surfaces transport
+    /// failures (a disconnected or stalled rank under a message-passing
+    /// backend) as typed [`TransportError`] values. After an error the
+    /// state is poisoned — the amplitudes are no longer coherent — and
+    /// every further apply returns [`TransportError::Poisoned`].
+    pub fn try_apply_plan(&mut self, plan: &CircuitPlan) -> Result<(), TransportError> {
+        // Fail fast before plan analysis: a poisoned state gave its
+        // shard buffers to a failed session and no longer has a shard
+        // count to analyze against.
+        if self.poisoned {
+            return Err(TransportError::Poisoned);
+        }
         let sp = if self.dirty {
             ShardPlan::with_layout(plan, self.num_shards(), &self.layout)
         } else {
             ShardPlan::analyze(plan, self.num_shards())
         };
-        self.apply_shard_plan(&sp);
+        self.try_apply_shard_plan(&sp)
     }
 
     /// Executes a precomputed [`ShardPlan`].
@@ -270,9 +347,30 @@ impl ShardedState {
     /// # Panics
     ///
     /// Panics if the analysis' qubit count or shard count differ from the
-    /// state's, or if the state has already evolved under a different
-    /// layout than the analysis assumes.
+    /// state's, if the state has already evolved under a different layout
+    /// than the analysis assumes, or on a transport failure (see
+    /// [`ShardedState::try_apply_shard_plan`]).
     pub fn apply_shard_plan(&mut self, sp: &ShardPlan) {
+        self.try_apply_shard_plan(sp)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Like [`ShardedState::apply_shard_plan`], but surfaces transport
+    /// failures as typed [`TransportError`] values instead of panicking.
+    ///
+    /// Opens one transport session per call: the shard buffers move into
+    /// the backend, every plan step dispatches as transport calls, and
+    /// the buffers move back on success. On failure the state is
+    /// poisoned (see [`ShardedState::try_apply_plan`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on the caller bugs [`ShardedState::apply_shard_plan`]
+    /// documents (mismatched qubit/shard counts or layout).
+    pub fn try_apply_shard_plan(&mut self, sp: &ShardPlan) -> Result<(), TransportError> {
+        if self.poisoned {
+            return Err(TransportError::Poisoned);
+        }
         assert_eq!(
             sp.num_qubits(),
             self.num_qubits,
@@ -298,11 +396,21 @@ impl ShardedState {
             self.dirty = true;
         }
         let workers = self.workers();
-        for step in sp.steps() {
-            match step {
-                ShardStep::Local(ops) => self.run_local(ops, workers),
-                ShardStep::Exchange(op) => self.run_exchange(op, workers),
-                ShardStep::PlaneSwap(op) => self.run_plane_swap(op),
+        let local_bits = self.local_bits;
+        let nshards = self.shards.len();
+        let shards = std::mem::take(&mut self.shards);
+        let mut session = self.transport.connect(shards, local_bits, &self.fault)?;
+        let run = run_steps(session.as_mut(), sp, local_bits, nshards, workers);
+        self.counters.merge(&session.counters());
+        let result = run.and_then(|()| session.finish());
+        match result {
+            Ok(shards) => {
+                self.shards = shards;
+                Ok(())
+            }
+            Err(e) => {
+                self.poisoned = true;
+                Err(e)
             }
         }
     }
@@ -323,232 +431,6 @@ impl ShardedState {
                     parallel::num_threads()
                 }
             }
-        }
-    }
-
-    /// Runs a batch of shard-local ops: each shard executes the whole run
-    /// independently (one fan-out for the entire batch).
-    fn run_local(&mut self, ops: &[PlanOp], workers: usize) {
-        let local_bits = self.local_bits;
-        let nshards = self.shards.len();
-        let w = workers.min(nshards).max(1);
-        parallel::for_each_chunk_mut(&mut self.shards, w, |wi, chunk| {
-            let first = parallel::worker_range(nshards, w, wi).start;
-            for (i, shard) in chunk.iter_mut().enumerate() {
-                let base = (first + i) << local_bits;
-                for op in ops {
-                    apply_local_op(shard, base, local_bits, op);
-                }
-            }
-        });
-    }
-
-    /// Runs one exchange op: shards pair along the op's global bit and
-    /// update elementwise across each pair. Pairs (sub-split when there
-    /// are fewer pairs than workers) are partitioned across threads.
-    fn run_exchange(&mut self, op: &PlanOp, workers: usize) {
-        let local_bits = self.local_bits;
-        let shard_len = 1usize << local_bits;
-
-        /// What to do with each paired (low-half, high-half) element run.
-        enum Kind {
-            OneQ { m: [[C64; 2]; 2] },
-            CxLocalControl { cmask: usize },
-            SwapLocalLo { lomask: usize },
-            Block4Lo { lomask: usize, k: exec::QuadKernel },
-        }
-        // `min_block`: sub-splits must align so an element's low
-        // (condition/pair) bits are preserved within each sub-slice.
-        let (gq, kind, min_block) = match *op {
-            PlanOp::OneQ { q, m } => (q, Kind::OneQ { m }, 1),
-            PlanOp::Cx { control, target } => (
-                target,
-                Kind::CxLocalControl {
-                    cmask: 1 << control,
-                },
-                1usize << (control + 1),
-            ),
-            PlanOp::Swap { lo, hi } => (
-                hi,
-                Kind::SwapLocalLo { lomask: 1 << lo },
-                1usize << (lo + 1),
-            ),
-            PlanOp::Block4 { lo, hi, m } => {
-                if lo >= local_bits {
-                    // Both pair bits are shard-index bits: shards group
-                    // into quads instead of pairs.
-                    self.run_block4_plane_quad(lo, hi, &m, workers);
-                    return;
-                }
-                (
-                    hi,
-                    Kind::Block4Lo {
-                        lomask: 1 << lo,
-                        k: exec::QuadKernel::of(&m),
-                    },
-                    1usize << (lo + 1),
-                )
-            }
-            PlanOp::Cz { .. } => unreachable!("CZ is diagonal and never exchanges"),
-        };
-        debug_assert!(gq >= local_bits);
-        let sbit = 1usize << (gq - local_bits);
-
-        // Sub-split each shard pair so small shard counts still saturate
-        // the workers; power-of-two split counts keep slices aligned.
-        let npairs = self.shards.len() / 2;
-        let max_splits = shard_len / min_block;
-        let splits = workers
-            .div_ceil(npairs.max(1))
-            .next_power_of_two()
-            .clamp(1, max_splits.max(1));
-        let sub = shard_len / splits;
-
-        let mut tasks: Vec<(&mut [C64], &mut [C64])> = Vec::with_capacity(npairs * splits);
-        for block in self.shards.chunks_mut(2 * sbit) {
-            let (lo_half, hi_half) = block.split_at_mut(sbit);
-            for (a, b) in lo_half.iter_mut().zip(hi_half.iter_mut()) {
-                for (sa, sb) in a.chunks_mut(sub).zip(b.chunks_mut(sub)) {
-                    tasks.push((sa, sb));
-                }
-            }
-        }
-        let w = workers.min(tasks.len()).max(1);
-        parallel::for_each_chunk_mut(&mut tasks, w, |_, chunk| {
-            for (sa, sb) in chunk.iter_mut() {
-                match kind {
-                    Kind::OneQ { m } => {
-                        for (a, b) in sa.iter_mut().zip(sb.iter_mut()) {
-                            let (b0, b1) = exec::pair_update(&m, *a, *b);
-                            *a = b0;
-                            *b = b1;
-                        }
-                    }
-                    Kind::CxLocalControl { cmask } => {
-                        // Swap pairs whose (local) index has the control
-                        // bit set; alignment guarantees `j & cmask` only
-                        // depends on the in-slice offset.
-                        for j in 0..sa.len() {
-                            if j & cmask != 0 {
-                                std::mem::swap(&mut sa[j], &mut sb[j]);
-                            }
-                        }
-                    }
-                    Kind::SwapLocalLo { lomask } => {
-                        // Pair (i0 | lomask) on the low half with i0 on
-                        // the high half, i0 running over lo-clear offsets.
-                        let lo_bit = lomask.trailing_zeros() as usize;
-                        for p in 0..sa.len() / 2 {
-                            let i0 = exec::insert_zero_bit(p, lo_bit);
-                            std::mem::swap(&mut sa[i0 | lomask], &mut sb[i0]);
-                        }
-                    }
-                    Kind::Block4Lo { lomask, k } => {
-                        // The high pair bit selects the half (sa = clear,
-                        // sb = set); the low bit is in-slice. Quads load
-                        // in pair-basis order s = 2·bit(hi) + bit(lo).
-                        let lo_bit = lomask.trailing_zeros() as usize;
-                        for p in 0..sa.len() / 2 {
-                            let i0 = exec::insert_zero_bit(p, lo_bit);
-                            let out = k.apply([sa[i0], sa[i0 | lomask], sb[i0], sb[i0 | lomask]]);
-                            sa[i0] = out[0];
-                            sa[i0 | lomask] = out[1];
-                            sb[i0] = out[2];
-                            sb[i0 | lomask] = out[3];
-                        }
-                    }
-                }
-            }
-        });
-    }
-
-    /// Runs an entangler block whose pair bits are *both* global: shards
-    /// group into quads along the two shard-index bits and update
-    /// elementwise across each quad (the four shard slices hold the four
-    /// pair-basis amplitude planes). Quads are sub-split across workers
-    /// exactly like exchange pairs.
-    fn run_block4_plane_quad(&mut self, lo: usize, hi: usize, m: &[[C64; 4]; 4], workers: usize) {
-        let local_bits = self.local_bits;
-        let shard_len = 1usize << local_bits;
-        debug_assert!(lo >= local_bits && hi > lo);
-        let (bl, bh) = (1usize << (lo - local_bits), 1usize << (hi - local_bits));
-
-        let k = exec::QuadKernel::of(m);
-        let nquads = self.shards.len() / 4;
-        let splits = workers
-            .div_ceil(nquads.max(1))
-            .next_power_of_two()
-            .clamp(1, shard_len);
-        let sub = shard_len / splits;
-
-        // Pull the four member shards of each quad out of `self.shards`
-        // without overlapping borrows: each slot is taken exactly once.
-        let mut slots: Vec<Option<&mut [C64]>> = self
-            .shards
-            .iter_mut()
-            .map(|s| Some(s.as_mut_slice()))
-            .collect();
-        let mut tasks: Vec<[&mut [C64]; 4]> = Vec::with_capacity(nquads * splits);
-        for s in 0..slots.len() {
-            if s & bl != 0 || s & bh != 0 {
-                continue;
-            }
-            let s0 = slots[s].take().expect("quad base taken once");
-            let s1 = slots[s | bl].take().expect("quad lo taken once");
-            let s2 = slots[s | bh].take().expect("quad hi taken once");
-            let s3 = slots[s | bl | bh].take().expect("quad both taken once");
-            for (((c0, c1), c2), c3) in s0
-                .chunks_mut(sub)
-                .zip(s1.chunks_mut(sub))
-                .zip(s2.chunks_mut(sub))
-                .zip(s3.chunks_mut(sub))
-            {
-                tasks.push([c0, c1, c2, c3]);
-            }
-        }
-        let w = workers.min(tasks.len()).max(1);
-        parallel::for_each_chunk_mut(&mut tasks, w, |_, chunk| {
-            for [s0, s1, s2, s3] in chunk.iter_mut() {
-                for (((a0, a1), a2), a3) in s0
-                    .iter_mut()
-                    .zip(s1.iter_mut())
-                    .zip(s2.iter_mut())
-                    .zip(s3.iter_mut())
-                {
-                    let out = k.apply([*a0, *a1, *a2, *a3]);
-                    *a0 = out[0];
-                    *a1 = out[1];
-                    *a2 = out[2];
-                    *a3 = out[3];
-                }
-            }
-        });
-    }
-
-    /// Runs one plane-swap op: O(1) shard-handle swaps, no data movement.
-    fn run_plane_swap(&mut self, op: &PlanOp) {
-        let local_bits = self.local_bits;
-        match *op {
-            PlanOp::Cx { control, target } => {
-                let (cbit, tbit) = (
-                    1usize << (control - local_bits),
-                    1usize << (target - local_bits),
-                );
-                for s in 0..self.shards.len() {
-                    if s & cbit != 0 && s & tbit == 0 {
-                        self.shards.swap(s, s | tbit);
-                    }
-                }
-            }
-            PlanOp::Swap { lo, hi } => {
-                let (lbit, hbit) = (1usize << (lo - local_bits), 1usize << (hi - local_bits));
-                for s in 0..self.shards.len() {
-                    if s & lbit != 0 && s & hbit == 0 {
-                        self.shards.swap(s, s ^ lbit ^ hbit);
-                    }
-                }
-            }
-            _ => unreachable!("only CX and SWAP relabel whole shards"),
         }
     }
 
@@ -600,51 +482,64 @@ impl ShardedState {
     }
 }
 
-/// Applies one shard-local op to a single shard whose global index bits
-/// are `base` (already shifted into amplitude-index position). Qubits at
-/// or above `local_bits` only appear as control/phase conditions, which
-/// select whole shards via `base`.
-fn apply_local_op(shard: &mut [C64], base: usize, local_bits: usize, op: &PlanOp) {
-    match *op {
-        PlanOp::OneQ { q, m } => {
-            debug_assert!(q < local_bits);
-            exec::apply_1q_local(shard, q, &m);
-        }
-        PlanOp::Cx { control, target } => {
-            debug_assert!(target < local_bits);
-            if control < local_bits {
-                exec::apply_cx_local(shard, control, target);
-            } else if base & (1usize << control) != 0 {
-                // Global control: this whole shard sits in the controlled
-                // subspace; apply X on the target within it.
-                exec::apply_x_local(shard, target);
-            }
-        }
-        PlanOp::Cz { lo, hi } => match (lo < local_bits, hi < local_bits) {
-            (true, true) => exec::apply_cz_local(shard, lo, hi),
-            (true, false) => {
-                if base & (1usize << hi) != 0 {
-                    exec::negate_bit_set(shard, lo);
+/// Dispatches every step of a shard plan onto a transport session: the
+/// whole orchestration layer, backend-agnostic by construction.
+fn run_steps(
+    session: &mut dyn ShardTransport,
+    sp: &ShardPlan,
+    local_bits: usize,
+    nshards: usize,
+    workers: usize,
+) -> Result<(), TransportError> {
+    for step in sp.steps() {
+        match step {
+            ShardStep::Local(ops) => session.run_local(&LocalOps::new(ops, local_bits), workers)?,
+            ShardStep::Exchange(op) => match classify_exchange(op, local_bits) {
+                ExchangeStep::Pair { sbit, kernel } => {
+                    session.exchange_pairs(sbit, &kernel, workers)?
                 }
-            }
-            (false, false) => {
-                if base & (1usize << lo) != 0 && base & (1usize << hi) != 0 {
-                    for a in shard.iter_mut() {
-                        *a = -*a;
-                    }
+                ExchangeStep::Quad { bl, bh, kernel } => {
+                    session.exchange_quads(bl, bh, &kernel, workers)?
                 }
+            },
+            ShardStep::PlaneSwap(op) => {
+                session.plane_swap(&plane_swap_pairs(op, local_bits, nshards))?
             }
-            (false, true) => unreachable!("CZ stores sorted qubits"),
-        },
-        PlanOp::Swap { lo, hi } => {
-            debug_assert!(hi < local_bits);
-            exec::apply_swap_local(shard, lo, hi);
-        }
-        PlanOp::Block4 { lo, hi, ref m } => {
-            debug_assert!(hi < local_bits, "local blocks have both pair bits local");
-            exec::apply_block4_local(shard, lo, hi, m);
         }
     }
+    Ok(())
+}
+
+/// The disjoint shard-index pairs a plane-swap op trades: CX with both
+/// qubits global swaps the target bit within the control-set planes,
+/// SWAP of two global qubits trades the mixed-bit planes. Pure index
+/// arithmetic — the transport decides whether a pair is a handle swap or
+/// a relabeling message.
+fn plane_swap_pairs(op: &PlanOp, local_bits: usize, nshards: usize) -> Vec<(usize, usize)> {
+    let mut pairs = Vec::new();
+    match *op {
+        PlanOp::Cx { control, target } => {
+            let (cbit, tbit) = (
+                1usize << (control - local_bits),
+                1usize << (target - local_bits),
+            );
+            for s in 0..nshards {
+                if s & cbit != 0 && s & tbit == 0 {
+                    pairs.push((s, s | tbit));
+                }
+            }
+        }
+        PlanOp::Swap { lo, hi } => {
+            let (lbit, hbit) = (1usize << (lo - local_bits), 1usize << (hi - local_bits));
+            for s in 0..nshards {
+                if s & lbit != 0 && s & hbit == 0 {
+                    pairs.push((s, s ^ lbit ^ hbit));
+                }
+            }
+        }
+        _ => unreachable!("only CX and SWAP relabel whole shards"),
+    }
+    pairs
 }
 
 #[cfg(test)]

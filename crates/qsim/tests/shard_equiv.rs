@@ -7,13 +7,19 @@
 //! amplitude goes through the exact same floating-point operations as
 //! the serial kernels, so the gathered state must match **exactly**
 //! (`==` on `f64`, no tolerance) for every circuit, qubit count 2–14,
-//! shard count 1–8, and thread count 1–4.
+//! shard count 1–8, and thread count 1–4 — and for **both** shard
+//! transports: the zero-copy in-process backend and the
+//! message-passing rank-thread backend (which serializes every moved
+//! amplitude to `u64` words and back).
 
 use proptest::prelude::*;
 use qsim::plan::ShardPlan;
-use qsim::{Circuit, CircuitPlan, Parallelism, ShardedState, Statevector};
+use qsim::{Circuit, CircuitPlan, Parallelism, ShardedState, Statevector, TransportMode};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Every assertion below is checked per transport backend.
+const TRANSPORTS: [TransportMode; 2] = [TransportMode::Local, TransportMode::Channel];
 
 /// A random circuit over `n` qubits drawn from a seeded stream:
 /// rotations, Cliffords, and (for n >= 2) CX/CZ/SWAP on distinct qubit
@@ -71,15 +77,18 @@ proptest! {
         let shards = (1usize << shard_log).min(1 << n);
         let circuit = random_circuit(n, gates, seed);
         let serial = serial_reference(&circuit);
-        let mut sharded = ShardedState::zero(n, shards)
-            .with_parallelism(Parallelism::Threads(threads));
-        sharded.apply_plan(&CircuitPlan::compile(&circuit));
-        prop_assert_eq!(
-            serial.amplitudes(),
-            sharded.to_statevector().amplitudes(),
-            "divergence: {} qubits, {} shards, {} threads, {} gates, seed {}",
-            n, shards, threads, gates, seed
-        );
+        for transport in TRANSPORTS {
+            let mut sharded = ShardedState::zero(n, shards)
+                .with_parallelism(Parallelism::Threads(threads))
+                .with_transport(transport);
+            sharded.apply_plan(&CircuitPlan::compile(&circuit));
+            prop_assert_eq!(
+                serial.amplitudes(),
+                sharded.to_statevector().amplitudes(),
+                "divergence: {} qubits, {} shards, {} threads, {} gates, seed {}, {:?} transport",
+                n, shards, threads, gates, seed, transport
+            );
+        }
     }
 
     /// The identity layout (no remap) exercises the exchange and
@@ -110,15 +119,18 @@ proptest! {
         let serial = serial_reference(&c);
         let layout: Vec<usize> = (0..n).collect();
         let sp = ShardPlan::with_layout(&plan, shards, &layout);
-        let mut sharded = ShardedState::zero(n, shards)
-            .with_parallelism(Parallelism::Threads(threads));
-        sharded.apply_shard_plan(&sp);
-        prop_assert_eq!(
-            serial.amplitudes(),
-            sharded.to_statevector().amplitudes(),
-            "divergence: {} shards, {} threads, seed {} ({} exchanges, {} plane swaps)",
-            shards, threads, seed, sp.exchange_count(), sp.plane_swap_count()
-        );
+        for transport in TRANSPORTS {
+            let mut sharded = ShardedState::zero(n, shards)
+                .with_parallelism(Parallelism::Threads(threads))
+                .with_transport(transport);
+            sharded.apply_shard_plan(&sp);
+            prop_assert_eq!(
+                serial.amplitudes(),
+                sharded.to_statevector().amplitudes(),
+                "divergence: {} shards, {} threads, seed {} ({} exchanges, {} plane swaps, {:?})",
+                shards, threads, seed, sp.exchange_count(), sp.plane_swap_count(), transport
+            );
+        }
     }
 
     /// Sequential plans on one sharded state (the second pins the layout
@@ -135,10 +147,17 @@ proptest! {
         let mut serial = Statevector::zero(n);
         serial.apply_plan(&CircuitPlan::compile(&a));
         serial.apply_plan(&CircuitPlan::compile(&b));
-        let mut sharded = ShardedState::zero(n, shards);
-        sharded.apply_plan(&CircuitPlan::compile(&a));
-        sharded.apply_plan(&CircuitPlan::compile(&b));
-        prop_assert_eq!(serial.amplitudes(), sharded.to_statevector().amplitudes());
+        for transport in TRANSPORTS {
+            let mut sharded = ShardedState::zero(n, shards).with_transport(transport);
+            sharded.apply_plan(&CircuitPlan::compile(&a));
+            sharded.apply_plan(&CircuitPlan::compile(&b));
+            prop_assert_eq!(
+                serial.amplitudes(),
+                sharded.to_statevector().amplitudes(),
+                "divergence under {:?} transport",
+                transport
+            );
+        }
     }
 
     /// Entangler blocks in every placement the shard planner
@@ -172,15 +191,18 @@ proptest! {
         let serial = serial_reference(&c);
         let layout: Vec<usize> = (0..n).collect();
         let sp = ShardPlan::with_layout(&plan, shards, &layout);
-        let mut sharded = ShardedState::zero(n, shards)
-            .with_parallelism(Parallelism::Threads(threads));
-        sharded.apply_shard_plan(&sp);
-        prop_assert_eq!(
-            serial.amplitudes(),
-            sharded.to_statevector().amplitudes(),
-            "divergence: {} shards, {} threads, seed {}",
-            shards, threads, seed
-        );
+        for transport in TRANSPORTS {
+            let mut sharded = ShardedState::zero(n, shards)
+                .with_parallelism(Parallelism::Threads(threads))
+                .with_transport(transport);
+            sharded.apply_shard_plan(&sp);
+            prop_assert_eq!(
+                serial.amplitudes(),
+                sharded.to_statevector().amplitudes(),
+                "divergence: {} shards, {} threads, seed {}, {:?} transport",
+                shards, threads, seed, transport
+            );
+        }
     }
 }
 
@@ -229,7 +251,11 @@ fn transposed_block_is_caught_by_the_shard_oracle() {
 fn pair_flipping_remap_is_bit_identical() {
     let circuit = random_circuit(4, 18, 1806);
     let serial = serial_reference(&circuit);
-    let mut sharded = ShardedState::zero(4, 2).with_parallelism(Parallelism::Threads(4));
-    sharded.apply_plan(&CircuitPlan::compile(&circuit));
-    assert_eq!(serial.amplitudes(), sharded.to_statevector().amplitudes());
+    for transport in TRANSPORTS {
+        let mut sharded = ShardedState::zero(4, 2)
+            .with_parallelism(Parallelism::Threads(4))
+            .with_transport(transport);
+        sharded.apply_plan(&CircuitPlan::compile(&circuit));
+        assert_eq!(serial.amplitudes(), sharded.to_statevector().amplitudes());
+    }
 }

@@ -4,11 +4,13 @@ use crate::fair::{FairScheduler, Pick};
 use mitigation::Pmf;
 use pauli::PauliString;
 use qnoise::DeviceModel;
-use qsim::{CapacityError, Circuit, Parallelism, Sharding, SharedPlanCache};
+use qsim::{
+    CapacityError, Circuit, Parallelism, Sharding, SharedPlanCache, TransportError, TransportMode,
+};
 use std::collections::HashSet;
 use std::fmt;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
-use vqe::SimExecutor;
+use vqe::{PrepareError, SimExecutor};
 
 /// The dense-plane representation limit (qubits) of the statevector
 /// engine; see [`qsim::Statevector::try_zero`]. Jobs past it can never
@@ -205,12 +207,18 @@ pub enum JobError {
     /// The state allocation was refused at run time (e.g. the allocator
     /// rejected the reservation even though the job was within budget).
     Capacity(CapacityError),
+    /// Sharded preparation failed inside the shard-transport layer (a
+    /// rank disconnected or timed out) — see [`qsim::TransportError`].
+    /// Unlike a capacity refusal, this is a property of the execution,
+    /// not the request: the job may be retried.
+    Transport(TransportError),
 }
 
 impl fmt::Display for JobError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             JobError::Capacity(e) => write!(f, "job failed to allocate its state: {e}"),
+            JobError::Transport(e) => write!(f, "job failed in shard transport: {e}"),
         }
     }
 }
@@ -220,6 +228,15 @@ impl std::error::Error for JobError {}
 impl From<CapacityError> for JobError {
     fn from(e: CapacityError) -> Self {
         JobError::Capacity(e)
+    }
+}
+
+impl From<PrepareError> for JobError {
+    fn from(e: PrepareError) -> Self {
+        match e {
+            PrepareError::Capacity(e) => JobError::Capacity(e),
+            PrepareError::Transport(e) => JobError::Transport(e),
+        }
     }
 }
 
@@ -377,6 +394,7 @@ pub struct JobQueue {
     workers: usize,
     budget: u128,
     sharding: Sharding,
+    transport: TransportMode,
     shared: SharedPlanCache,
     state: Mutex<SchedState>,
     /// Workers park here when nothing runnable fits; completions and
@@ -397,6 +415,7 @@ impl JobQueue {
             workers: parallel::sched_workers(),
             budget: u128::MAX,
             sharding: Sharding::Off,
+            transport: TransportMode::from_env(),
             shared: SharedPlanCache::new(),
             state: Mutex::new(SchedState {
                 sched: FairScheduler::new(),
@@ -435,6 +454,16 @@ impl JobQueue {
     /// never changes results.
     pub fn with_sharding(mut self, sharding: Sharding) -> Self {
         self.sharding = sharding;
+        self
+    }
+
+    /// Sets the shard-[`TransportMode`] job executors move amplitudes
+    /// through when sharding is on (default: the `VARSAW_SHARD_TRANSPORT`
+    /// environment knob, falling back to in-process swaps). Both backends
+    /// are bit-identical, so this never changes results; transport
+    /// failures surface per job as [`JobError::Transport`].
+    pub fn with_transport(mut self, transport: TransportMode) -> Self {
+        self.transport = transport;
         self
     }
 
@@ -615,7 +644,8 @@ impl JobQueue {
         let mut exec = SimExecutor::new(self.device.clone(), self.shots, seed)
             .with_shared_plans(self.shared.clone())
             .with_parallelism(Parallelism::Serial)
-            .with_sharding(self.sharding);
+            .with_sharding(self.sharding)
+            .with_transport(self.transport);
         let state = exec.try_prepare(&spec.circuit)?;
         let pmfs = spec
             .measurements

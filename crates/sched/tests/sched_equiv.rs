@@ -499,3 +499,46 @@ fn results_are_a_function_of_job_id_not_submission_order() {
         }
     }
 }
+
+/// Sharded job execution rides the shard-transport seam: whichever
+/// backend moves the amplitudes — zero-copy in-process swaps or
+/// message-passing rank threads — every job's PMFs and cost stay
+/// bit-identical to the dense sequential reference. This is the test
+/// the CI `VARSAW_SHARD_TRANSPORT` matrix leans on.
+#[test]
+fn sharded_jobs_match_the_reference_under_both_transports() {
+    use qsim::{Sharding, TransportMode};
+
+    let device = DeviceModel::mumbai_like();
+    let angles: Vec<f64> = (0..16).map(|i| 0.3 * i as f64 - 1.7).collect();
+    let specs: Vec<JobSpec> = (0..4u64)
+        .map(|i| JobSpec {
+            job_id: 100 + i,
+            tenant: i % 2,
+            circuit: ansatz(5, &angles[i as usize..]),
+            measurements: vec![
+                Measurement::global(basis(5, &[3, 3, 0, 1, 2])),
+                Measurement::subset(basis(5, &[0, 1, 0, 3, 0])),
+            ],
+        })
+        .collect();
+    let expected = reference(&device, 77, &specs);
+
+    for transport in [TransportMode::Local, TransportMode::Channel] {
+        let queue = JobQueue::new(device.clone(), SHOTS, 77)
+            .with_workers(3)
+            .with_sharding(Sharding::Shards(4))
+            .with_transport(transport);
+        let handles: Vec<_> = specs
+            .iter()
+            .map(|s| queue.submit(s.clone()).unwrap())
+            .collect();
+        queue.drain();
+        for h in &handles {
+            let out = h.wait().unwrap_or_else(|e| panic!("{transport:?}: {e}"));
+            let (pmfs, cost) = &expected[&out.job_id];
+            assert_eq!(&out.pmfs, pmfs, "{transport:?}: job {} PMFs", out.job_id);
+            assert_eq!(out.cost, *cost, "{transport:?}: job {} cost", out.job_id);
+        }
+    }
+}

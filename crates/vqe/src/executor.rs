@@ -7,10 +7,75 @@ use qnoise::{apply_depolarizing, apply_readout_errors, DeviceModel, ReadoutError
 use qsim::shard::auto_shard_count;
 use qsim::{
     CapacityError, Circuit, CircuitPlan, Parallelism, PlanCache, ShardPlan, ShardedState, Sharding,
-    SharedPlanCache, Statevector,
+    SharedPlanCache, Statevector, TransportError, TransportMode,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Why state preparation could not produce a statevector: either the state
+/// would not fit (admission control refused the allocation up front), or —
+/// under the sharded executor with a message-passing transport — a rank
+/// failed mid-plan and the error surfaced through the transport seam.
+///
+/// Schedulers branch on the two arms differently: a [`CapacityError`] is a
+/// property of the *request* (re-submitting won't help on this host), while
+/// a [`TransportError`] is a property of the *execution* (the job may be
+/// retried on a fresh state).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PrepareError {
+    /// The state allocation was refused before any simulation ran.
+    Capacity(CapacityError),
+    /// A shard-transport failure interrupted sharded execution.
+    Transport(TransportError),
+}
+
+impl PrepareError {
+    /// The capacity refusal, if that is what this error is.
+    pub fn capacity(&self) -> Option<&CapacityError> {
+        match self {
+            PrepareError::Capacity(e) => Some(e),
+            PrepareError::Transport(_) => None,
+        }
+    }
+
+    /// The transport failure, if that is what this error is.
+    pub fn transport(&self) -> Option<&TransportError> {
+        match self {
+            PrepareError::Capacity(_) => None,
+            PrepareError::Transport(e) => Some(e),
+        }
+    }
+}
+
+impl std::fmt::Display for PrepareError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PrepareError::Capacity(e) => e.fmt(f),
+            PrepareError::Transport(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for PrepareError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PrepareError::Capacity(e) => Some(e),
+            PrepareError::Transport(e) => Some(e),
+        }
+    }
+}
+
+impl From<CapacityError> for PrepareError {
+    fn from(e: CapacityError) -> Self {
+        PrepareError::Capacity(e)
+    }
+}
+
+impl From<TransportError> for PrepareError {
+    fn from(e: TransportError) -> Self {
+        PrepareError::Transport(e)
+    }
+}
 
 /// Executes measurement circuits on a simulated noisy device, metering the
 /// number of circuits submitted — the paper's quantum-computational Cost
@@ -54,6 +119,7 @@ pub struct SimExecutor {
     exact: bool,
     parallelism: Parallelism,
     sharding: Sharding,
+    transport: TransportMode,
     /// Compiled-plan cache keyed by circuit structure: SPSA evaluations,
     /// subset/Global measurement rotations and MBM circuits all share the
     /// handful of shapes a VQE run executes, so after the first iteration
@@ -81,6 +147,7 @@ impl SimExecutor {
             exact: false,
             parallelism: Parallelism::Auto,
             sharding: Sharding::Off,
+            transport: TransportMode::from_env(),
             plans: PlanCache::new(),
             shared_plans: None,
         }
@@ -98,6 +165,7 @@ impl SimExecutor {
             exact: true,
             parallelism: Parallelism::Auto,
             sharding: Sharding::Off,
+            transport: TransportMode::from_env(),
             plans: PlanCache::new(),
             shared_plans: None,
         }
@@ -195,6 +263,32 @@ impl SimExecutor {
         self.sharding
     }
 
+    /// Sets which [`TransportMode`] sharded preparation moves amplitudes
+    /// through (default: the `VARSAW_SHARD_TRANSPORT` environment knob,
+    /// falling back to zero-copy in-process swaps). Both backends are
+    /// bit-identical, so this knob never changes results; the
+    /// message-passing backend exists to rehearse multi-node execution
+    /// and exercise the failure paths schedulers must handle.
+    ///
+    /// ```
+    /// use qnoise::DeviceModel;
+    /// use qsim::TransportMode;
+    /// use vqe::SimExecutor;
+    ///
+    /// let exec = SimExecutor::new(DeviceModel::noiseless(2), 128, 1)
+    ///     .with_transport(TransportMode::Channel);
+    /// assert_eq!(exec.transport(), TransportMode::Channel);
+    /// ```
+    pub fn with_transport(mut self, mode: TransportMode) -> Self {
+        self.transport = mode;
+        self
+    }
+
+    /// The shard-transport backend sharded preparation uses.
+    pub fn transport(&self) -> TransportMode {
+        self.transport
+    }
+
     /// The shard count preparation of `circuit` resolves to.
     fn resolve_shards(&self, circuit: &Circuit) -> usize {
         match self.sharding {
@@ -228,17 +322,19 @@ impl SimExecutor {
     }
 
     /// Simulates a compiled plan from `|0…0⟩` on the dense plane or the
-    /// sharded executor, surfacing allocation refusals as typed
-    /// [`CapacityError`]s. All paths are bit-identical.
+    /// sharded executor, surfacing allocation refusals and transport
+    /// failures as a typed [`PrepareError`]. All paths are bit-identical.
     fn try_simulate(
         plan: &CircuitPlan,
         shard_plan: Option<&ShardPlan>,
         mode: Parallelism,
-    ) -> Result<Statevector, CapacityError> {
+        transport: TransportMode,
+    ) -> Result<Statevector, PrepareError> {
         if let Some(sp) = shard_plan {
-            let mut st =
-                ShardedState::try_zero(plan.num_qubits(), sp.num_shards())?.with_parallelism(mode);
-            st.apply_shard_plan(sp);
+            let mut st = ShardedState::try_zero(plan.num_qubits(), sp.num_shards())?
+                .with_parallelism(mode)
+                .with_transport(transport);
+            st.try_apply_shard_plan(sp)?;
             Ok(st.to_statevector())
         } else {
             let mut st = Statevector::try_zero(plan.num_qubits())?;
@@ -273,12 +369,14 @@ impl SimExecutor {
         self.try_prepare(circuit).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// [`SimExecutor::prepare`], surfacing state-allocation failures as a
-    /// typed [`CapacityError`] instead of panicking — the admission-control
-    /// seam job schedulers branch on. Covers every execution tier: the
-    /// dense plane (serial or threaded) probes
-    /// [`Statevector::try_zero`], the sharded executor probes
-    /// [`ShardedState::try_zero`](qsim::ShardedState::try_zero).
+    /// [`SimExecutor::prepare`], surfacing state-allocation failures and
+    /// shard-transport failures as a typed [`PrepareError`] instead of
+    /// panicking — the admission-control and fault seam job schedulers
+    /// branch on. Covers every execution tier: the dense plane (serial or
+    /// threaded) probes [`Statevector::try_zero`], the sharded executor
+    /// probes [`ShardedState::try_zero`](qsim::ShardedState::try_zero) and
+    /// surfaces rank failures from
+    /// [`try_apply_shard_plan`](qsim::ShardedState::try_apply_shard_plan).
     ///
     /// ```
     /// use qnoise::DeviceModel;
@@ -288,12 +386,12 @@ impl SimExecutor {
     /// let mut exec = SimExecutor::new(DeviceModel::noiseless(2), 16, 1);
     /// assert!(exec.try_prepare(&Circuit::new(3)).is_ok());
     /// let err = exec.try_prepare(&Circuit::new(33)).unwrap_err();
-    /// assert_eq!(err.num_qubits(), 33);
+    /// assert_eq!(err.capacity().unwrap().num_qubits(), 33);
     /// ```
-    pub fn try_prepare(&mut self, circuit: &Circuit) -> Result<Statevector, CapacityError> {
+    pub fn try_prepare(&mut self, circuit: &Circuit) -> Result<Statevector, PrepareError> {
         let plan = self.plan(circuit);
         let sp = self.shard_plan(&plan, self.resolve_shards(circuit));
-        Self::try_simulate(&plan, sp.as_ref(), self.parallelism)
+        Self::try_simulate(&plan, sp.as_ref(), self.parallelism, self.transport)
     }
 
     /// Prepares one state per circuit against the shared [`PlanCache`] —
@@ -327,13 +425,13 @@ impl SimExecutor {
             .unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// [`SimExecutor::prepare_batch`], surfacing state-allocation failures
-    /// as a typed [`CapacityError`] (the first one encountered, in circuit
-    /// order) instead of panicking.
+    /// [`SimExecutor::prepare_batch`], surfacing state-allocation and
+    /// shard-transport failures as a typed [`PrepareError`] (the first one
+    /// encountered, in circuit order) instead of panicking.
     pub fn try_prepare_batch(
         &mut self,
         circuits: &[Circuit],
-    ) -> Result<Vec<Statevector>, CapacityError> {
+    ) -> Result<Vec<Statevector>, PrepareError> {
         let plans: Vec<(CircuitPlan, Option<ShardPlan>)> = circuits
             .iter()
             .map(|c| {
@@ -342,18 +440,21 @@ impl SimExecutor {
                 (plan, sp)
             })
             .collect();
-        let states: Vec<Result<Statevector, CapacityError>> = if self.parallelism
+        let transport = self.transport;
+        let states: Vec<Result<Statevector, PrepareError>> = if self.parallelism
             != Parallelism::Serial
             && plans.len() > 1
             && parallel::num_threads() > 1
         {
-            parallel::parallel_map(plans, |(plan, sp)| {
-                Self::try_simulate(plan, sp.as_ref(), Parallelism::Serial)
+            parallel::parallel_map(plans, move |(plan, sp)| {
+                Self::try_simulate(plan, sp.as_ref(), Parallelism::Serial, transport)
             })
         } else {
             plans
                 .iter()
-                .map(|(plan, sp)| Self::try_simulate(plan, sp.as_ref(), self.parallelism))
+                .map(|(plan, sp)| {
+                    Self::try_simulate(plan, sp.as_ref(), self.parallelism, transport)
+                })
                 .collect()
         };
         states.into_iter().collect()
