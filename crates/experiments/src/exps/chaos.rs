@@ -1,0 +1,161 @@
+//! Chaos-schedule accounting: what the fault supervisor delivers under
+//! injected transport failures.
+//!
+//! A fixed multi-tenant job mix runs through [`sched::JobQueue`] under a
+//! grid of seed-deterministic kill rates × retry policies × transports.
+//! For each cell the table reports how many jobs completed versus
+//! failed typed, the attempt counts the retry ladder consumed, and how
+//! many completions had to degrade (to local transport or unsharded
+//! serial). Every completed job is asserted **bit-identical** to its
+//! fault-free sequential reference before anything is reported — the
+//! table never shows a "completion" the determinism oracle would
+//! reject.
+
+use crate::harness::Options;
+use crate::report::{fmt, results_path, Table};
+use qnoise::DeviceModel;
+use qsim::{Circuit, FaultSchedule, Parallelism, Sharding, TransportMode};
+use sched::{
+    job_seed, Degradation, JobError, JobQueue, JobSpec, MeasureScope, Measurement, RetryPolicy,
+};
+use std::collections::BTreeMap;
+use vqe::SimExecutor;
+
+const SHOTS: u64 = 128;
+const ROOT_SEED: u64 = 41;
+
+/// The job mix: hardware-efficient ansatz evaluations from two tenants,
+/// mixed subset/global readouts.
+fn job_mix(jobs: usize) -> Vec<JobSpec> {
+    (0..jobs)
+        .map(|i| {
+            let mut c = Circuit::new(5);
+            for q in 0..5 {
+                c.ry(q, 0.37 * (i + q) as f64 - 1.1);
+            }
+            for q in 0..4 {
+                c.cx(q, q + 1);
+            }
+            for q in 0..5 {
+                c.ry(q, -0.23 * (i * 5 + q) as f64 + 0.4);
+            }
+            let basis: pauli::PauliString =
+                ["ZZIII", "IZZII", "IIZZI", "ZIIIZ"][i % 4].parse().unwrap();
+            JobSpec {
+                job_id: 7 + 3 * i as u64,
+                tenant: i as u64 % 2,
+                circuit: c,
+                measurements: vec![if i % 3 == 0 {
+                    Measurement::global(basis)
+                } else {
+                    Measurement::subset(basis)
+                }],
+            }
+        })
+        .collect()
+}
+
+/// Fault-free sequential reference PMFs, keyed by job id.
+fn reference(device: &DeviceModel, specs: &[JobSpec]) -> BTreeMap<u64, Vec<mitigation::Pmf>> {
+    specs
+        .iter()
+        .map(|spec| {
+            let mut exec =
+                SimExecutor::new(device.clone(), SHOTS, job_seed(ROOT_SEED, spec.job_id))
+                    .with_parallelism(Parallelism::Serial);
+            let state = exec.prepare(&spec.circuit);
+            let pmfs = spec
+                .measurements
+                .iter()
+                .map(|m| match m.scope {
+                    MeasureScope::Subset => exec.run_prepared(&state, &m.basis),
+                    MeasureScope::Global => exec.run_prepared_all(&state, &m.basis),
+                })
+                .collect();
+            (spec.job_id, pmfs)
+        })
+        .collect()
+}
+
+/// The `chaos` experiment: supervisor outcomes across the fault grid.
+pub fn chaos(opts: &Options) {
+    let jobs = if opts.full { 24 } else { 12 };
+    let kill_rates: &[u16] = if opts.full {
+        &[0, 125, 250, 500, 800]
+    } else {
+        &[0, 250, 800]
+    };
+    let device = DeviceModel::mumbai_like();
+    let specs = job_mix(jobs);
+    let expected = reference(&device, &specs);
+
+    let mut t = Table::new([
+        "backend",
+        "kill/1000",
+        "retries",
+        "degrade",
+        "jobs",
+        "completed",
+        "typed errs",
+        "mean attempts",
+        "degraded local",
+        "degraded serial",
+    ]);
+    for transport in [TransportMode::Local, TransportMode::Channel] {
+        for &kill in kill_rates {
+            for (retries, degrade) in [(0u32, false), (2, false), (2, true)] {
+                let queue = JobQueue::new(device.clone(), SHOTS, ROOT_SEED)
+                    .with_workers(3)
+                    .with_sharding(Sharding::Shards(4))
+                    .with_transport(transport)
+                    .with_fault_schedule(FaultSchedule::new(97 + u64::from(kill), kill, 0))
+                    .with_retry_policy(RetryPolicy::retries(retries).with_degrade(degrade));
+                let handles: Vec<_> = specs
+                    .iter()
+                    .map(|s| queue.submit(s.clone()).unwrap())
+                    .collect();
+                queue.drain();
+                assert_eq!(queue.in_flight_bytes(), 0, "budget must drain to zero");
+
+                let (mut completed, mut errs, mut attempts) = (0u64, 0u64, 0u64);
+                let (mut deg_local, mut deg_serial) = (0u64, 0u64);
+                for h in &handles {
+                    match h.wait() {
+                        Ok(out) => {
+                            assert_eq!(
+                                &out.pmfs, &expected[&out.job_id],
+                                "completed jobs must match their fault-free reference"
+                            );
+                            completed += 1;
+                            attempts += u64::from(out.attempts);
+                            match out.degraded_to {
+                                Some(Degradation::LocalTransport) => deg_local += 1,
+                                Some(Degradation::Unsharded) => deg_serial += 1,
+                                None => {}
+                            }
+                        }
+                        Err(JobError::Transport(_)) => {
+                            errs += 1;
+                            attempts += u64::from(retries + 1);
+                        }
+                        Err(e) => panic!("unexpected non-transport failure: {e}"),
+                    }
+                }
+                t.row([
+                    transport.name().to_string(),
+                    kill.to_string(),
+                    retries.to_string(),
+                    if degrade { "yes" } else { "no" }.to_string(),
+                    jobs.to_string(),
+                    completed.to_string(),
+                    errs.to_string(),
+                    fmt(attempts as f64 / jobs as f64),
+                    deg_local.to_string(),
+                    deg_serial.to_string(),
+                ]);
+            }
+        }
+    }
+    t.print();
+    t.write_reports(&results_path(&opts.out_dir, "chaos", "chaos.csv"));
+}

@@ -2,6 +2,7 @@
 //! table or figure of the paper.
 
 pub mod ablation;
+pub mod chaos;
 pub mod structural;
 pub mod sweeps;
 pub mod transport;

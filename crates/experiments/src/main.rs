@@ -33,6 +33,7 @@ ids: table1 table2 table3 table4 table5
      fig6 fig7 fig8 fig9 fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19
      ablations | ablation-selective | ablation-spin | ablation-grouping
      transport  (per-backend shard movement counters)
+     chaos  (fault-supervisor outcomes across kill rates and retry policies)
      all  (everything, in order)";
 
 fn run(command: &str, opts: &Options) {
@@ -58,6 +59,7 @@ fn run(command: &str, opts: &Options) {
         "ablation-spin" => exps::ablation::spin_chains(opts),
         "ablation-grouping" => exps::ablation::grouping(opts),
         "transport" => exps::transport::transport(opts),
+        "chaos" => exps::chaos::chaos(opts),
         "ablations" => {
             exps::ablation::selective_mitigation(opts);
             exps::ablation::spin_chains(opts);
@@ -84,6 +86,7 @@ fn run(command: &str, opts: &Options) {
                 "table5",
                 "ablations",
                 "transport",
+                "chaos",
             ] {
                 println!("\n=== {id} ===");
                 run(id, opts);

@@ -1,6 +1,7 @@
 //! Process-wide execution configuration, read from the environment once.
 //!
-//! Four knobs control how the workspace's engines spread work:
+//! Six knobs control how the workspace's engines spread work and recover
+//! from failures:
 //!
 //! - [`NUM_THREADS_ENV`] (`VARSAW_NUM_THREADS`): the worker-thread count
 //!   behind [`crate::num_threads`], shared by the statevector engine, the
@@ -15,7 +16,14 @@
 //!   transport backend behind [`crate::shard_transport`], consulted by
 //!   `qsim::transport` when a sharded state is built (`local` keeps the
 //!   zero-copy in-process backend, `channel` routes exchanges through
-//!   message-passing rank threads).
+//!   message-passing rank threads);
+//! - [`JOB_RETRIES_ENV`] (`VARSAW_JOB_RETRIES`): the default retry budget
+//!   behind [`crate::job_retries`], consulted by `sched::JobQueue` when no
+//!   explicit retry policy is set — how many times a job whose transport
+//!   session failed is re-dispatched before its error is surfaced;
+//! - [`JOB_DEADLINE_MS_ENV`] (`VARSAW_JOB_DEADLINE_MS`): the default
+//!   per-job deadline behind [`crate::job_deadline_ms`], consulted by
+//!   `sched::JobQueue` when no explicit deadline is set.
 //!
 //! Earlier revisions re-parsed `VARSAW_NUM_THREADS` at every call site,
 //! which both repeated the work on hot paths and silently swallowed
@@ -63,6 +71,23 @@ pub const SHARD_TRANSPORT_ENV: &str = "VARSAW_SHARD_TRANSPORT";
 /// The valid [`SHARD_TRANSPORT_ENV`] values, for error messages and docs.
 pub const SHARD_TRANSPORT_NAMES: [&str; 2] = ["local", "channel"];
 
+/// Environment variable setting the default per-job retry budget the job
+/// scheduler recovers transport failures with (see `sched::JobQueue`):
+/// how many *additional* dispatch attempts a job whose shard-transport
+/// session failed receives before its typed error is surfaced. Unset
+/// means no retries; capped at [`MAX_JOB_RETRIES`].
+pub const JOB_RETRIES_ENV: &str = "VARSAW_JOB_RETRIES";
+
+/// Environment variable setting the default per-job deadline, in
+/// milliseconds, the job scheduler enforces at session boundaries (see
+/// `sched::JobQueue`). Unset means no deadline.
+pub const JOB_DEADLINE_MS_ENV: &str = "VARSAW_JOB_DEADLINE_MS";
+
+/// Hard upper bound on [`JOB_RETRIES_ENV`] (sanity cap for typos; a
+/// retry ladder deeper than this only replays the same deterministic
+/// failure).
+pub const MAX_JOB_RETRIES: u32 = 16;
+
 /// A validated [`SHARD_TRANSPORT_ENV`] value. The `parallel` crate only
 /// names the backends; `qsim::transport` owns their semantics.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -95,6 +120,12 @@ pub struct Config {
     /// Shard-transport backend override, or `None` to let engines use
     /// their in-process default; from [`SHARD_TRANSPORT_ENV`].
     pub shard_transport: Option<ShardTransport>,
+    /// Default per-job retry budget for transport failures, or `None` for
+    /// no retries; from [`JOB_RETRIES_ENV`], capped at [`MAX_JOB_RETRIES`].
+    pub job_retries: Option<u32>,
+    /// Default per-job deadline in milliseconds, or `None` for no
+    /// deadline; from [`JOB_DEADLINE_MS_ENV`].
+    pub job_deadline_ms: Option<u64>,
 }
 
 impl Config {
@@ -106,6 +137,8 @@ impl Config {
         shards_raw: Option<&str>,
         sched_raw: Option<&str>,
         transport_raw: Option<&str>,
+        retries_raw: Option<&str>,
+        deadline_raw: Option<&str>,
         default_threads: usize,
     ) -> (Config, Vec<String>) {
         let mut warnings = Vec::new();
@@ -152,16 +185,67 @@ impl Config {
 
         let shard_transport = parse_transport(transport_raw, &mut warnings);
 
+        // Unlike the count knobs, 0 is a legitimate retry budget (run
+        // once, never retry — the unset default), so retries get their
+        // own parse instead of `parse_count`.
+        let job_retries = match retries_raw.map(str::trim).filter(|s| !s.is_empty()) {
+            None => None,
+            Some(raw) => match raw.parse::<u32>() {
+                Ok(n) if n > MAX_JOB_RETRIES => {
+                    warnings.push(format!(
+                        "{JOB_RETRIES_ENV}={n} exceeds the cap of {MAX_JOB_RETRIES}; \
+                         using {MAX_JOB_RETRIES}"
+                    ));
+                    Some(MAX_JOB_RETRIES)
+                }
+                Ok(n) => Some(n),
+                Err(_) => {
+                    warnings.push(format!(
+                        "{JOB_RETRIES_ENV}={raw:?} is not a number; using the default"
+                    ));
+                    None
+                }
+            },
+        };
+
+        let job_deadline_ms =
+            parse_count(JOB_DEADLINE_MS_ENV, deadline_raw, &mut warnings).map(|n| n as u64);
+
         (
             Config {
                 threads,
                 shards,
                 sched_workers,
                 shard_transport,
+                job_retries,
+                job_deadline_ms,
             },
             warnings,
         )
     }
+}
+
+/// Prints `message` to stderr at most once per process per distinct
+/// message — the single funnel for the workspace's warning paths
+/// (invalid environment knobs, transport-degradation notices), so
+/// repeated triggers (every retry of a chaos run, every re-resolve in a
+/// test) cannot spam stderr.
+///
+/// Returns `true` when the message was printed (first sighting), `false`
+/// when it was suppressed as a duplicate — callers normally ignore the
+/// result; tests use it to observe the dedup.
+pub fn warn_once(message: &str) -> bool {
+    use std::collections::BTreeSet;
+    use std::sync::Mutex;
+    static SEEN: Mutex<BTreeSet<String>> = Mutex::new(BTreeSet::new());
+    let fresh = SEEN
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .insert(message.to_string());
+    if fresh {
+        eprintln!("{message}");
+    }
+    fresh
 }
 
 /// Parses [`SHARD_TRANSPORT_ENV`]. `None`/empty means "not set" (no
@@ -214,6 +298,8 @@ pub fn get() -> &'static Config {
         let shards_raw = std::env::var(NUM_SHARDS_ENV).ok();
         let sched_raw = std::env::var(SCHED_WORKERS_ENV).ok();
         let transport_raw = std::env::var(SHARD_TRANSPORT_ENV).ok();
+        let retries_raw = std::env::var(JOB_RETRIES_ENV).ok();
+        let deadline_raw = std::env::var(JOB_DEADLINE_MS_ENV).ok();
         let default_threads = std::thread::available_parallelism()
             .map(|p| p.get())
             .unwrap_or(1);
@@ -222,10 +308,12 @@ pub fn get() -> &'static Config {
             shards_raw.as_deref(),
             sched_raw.as_deref(),
             transport_raw.as_deref(),
+            retries_raw.as_deref(),
+            deadline_raw.as_deref(),
             default_threads,
         );
         for w in &warnings {
-            eprintln!("parallel: {w}");
+            warn_once(&format!("parallel: {w}"));
         }
         config
     })
@@ -236,7 +324,7 @@ mod tests {
     use super::*;
 
     fn resolve(threads: Option<&str>, shards: Option<&str>) -> (Config, Vec<String>) {
-        Config::resolve(threads, shards, None, None, 4)
+        Config::resolve(threads, shards, None, None, None, None, 4)
     }
 
     fn defaults() -> Config {
@@ -245,6 +333,8 @@ mod tests {
             shards: None,
             sched_workers: None,
             shard_transport: None,
+            job_retries: None,
+            job_deadline_ms: None,
         }
     }
 
@@ -270,8 +360,7 @@ mod tests {
             Config {
                 threads: 3,
                 shards: Some(8),
-                sched_workers: None,
-                shard_transport: None
+                ..defaults()
             }
         );
         assert!(w.is_empty());
@@ -311,24 +400,66 @@ mod tests {
 
     #[test]
     fn default_threads_are_clamped_to_the_cap() {
-        let (c, _) = Config::resolve(None, None, None, None, 1000);
+        let (c, _) = Config::resolve(None, None, None, None, None, None, 1000);
         assert_eq!(c.threads, MAX_THREADS);
-        let (c, _) = Config::resolve(None, None, None, None, 0);
+        let (c, _) = Config::resolve(None, None, None, None, None, None, 0);
         assert_eq!(c.threads, 1);
     }
 
     #[test]
     fn sched_workers_parse_and_cap() {
-        let (c, w) = Config::resolve(None, None, Some("3"), None, 4);
+        let (c, w) = Config::resolve(None, None, Some("3"), None, None, None, 4);
         assert_eq!(c.sched_workers, Some(3));
         assert!(w.is_empty());
-        let (c, w) = Config::resolve(None, None, Some("9999"), None, 4);
+        let (c, w) = Config::resolve(None, None, Some("9999"), None, None, None, 4);
         assert_eq!(c.sched_workers, Some(MAX_THREADS));
         assert_eq!(w.len(), 1);
         assert!(w[0].contains(SCHED_WORKERS_ENV), "{w:?}");
-        let (c, w) = Config::resolve(None, None, Some("zero"), None, 4);
+        let (c, w) = Config::resolve(None, None, Some("zero"), None, None, None, 4);
         assert_eq!(c.sched_workers, None);
         assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn job_retries_accept_zero_and_cap() {
+        // 0 is a real value (run once, never retry), not a typo.
+        let (c, w) = Config::resolve(None, None, None, None, Some("0"), None, 4);
+        assert_eq!(c.job_retries, Some(0));
+        assert!(w.is_empty(), "{w:?}");
+        let (c, w) = Config::resolve(None, None, None, None, Some("3"), None, 4);
+        assert_eq!(c.job_retries, Some(3));
+        assert!(w.is_empty());
+        let (c, w) = Config::resolve(None, None, None, None, Some("999"), None, 4);
+        assert_eq!(c.job_retries, Some(MAX_JOB_RETRIES));
+        assert_eq!(w.len(), 1);
+        assert!(w[0].contains(JOB_RETRIES_ENV), "{w:?}");
+        let (c, w) = Config::resolve(None, None, None, None, Some("lots"), None, 4);
+        assert_eq!(c.job_retries, None);
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn job_deadlines_parse_and_reject_zero() {
+        let (c, w) = Config::resolve(None, None, None, None, None, Some("2500"), 4);
+        assert_eq!(c.job_deadline_ms, Some(2500));
+        assert!(w.is_empty());
+        // A zero deadline would expire every job before dispatch; treat
+        // it as the typo it almost certainly is.
+        let (c, w) = Config::resolve(None, None, None, None, None, Some("0"), 4);
+        assert_eq!(c.job_deadline_ms, None);
+        assert_eq!(w.len(), 1);
+        assert!(w[0].contains(JOB_DEADLINE_MS_ENV), "{w:?}");
+        let (c, w) = Config::resolve(None, None, None, None, None, Some("soon"), 4);
+        assert_eq!(c.job_deadline_ms, None);
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn warn_once_deduplicates_per_message() {
+        assert!(warn_once("config-test: first unique warning"));
+        assert!(!warn_once("config-test: first unique warning"));
+        assert!(warn_once("config-test: second unique warning"));
+        assert!(!warn_once("config-test: second unique warning"));
     }
 
     #[test]
@@ -340,7 +471,7 @@ mod tests {
             ("CHANNEL", ShardTransport::Channel),
             (" channel ", ShardTransport::Channel),
         ] {
-            let (c, w) = Config::resolve(None, None, None, Some(raw), 4);
+            let (c, w) = Config::resolve(None, None, None, Some(raw), None, None, 4);
             assert_eq!(c.shard_transport, Some(want), "raw {raw:?}");
             assert!(w.is_empty(), "raw {raw:?}: {w:?}");
         }
@@ -348,7 +479,7 @@ mod tests {
 
     #[test]
     fn unknown_transport_names_warn_with_the_valid_set_and_fall_back() {
-        let (c, w) = Config::resolve(None, None, None, Some("sockets"), 4);
+        let (c, w) = Config::resolve(None, None, None, Some("sockets"), None, None, 4);
         assert_eq!(c.shard_transport, None, "unknown names fall back to unset");
         assert_eq!(w.len(), 1, "{w:?}");
         assert!(w[0].contains(SHARD_TRANSPORT_ENV), "{w:?}");
@@ -359,7 +490,7 @@ mod tests {
 
     #[test]
     fn empty_transport_counts_as_unset() {
-        let (c, w) = Config::resolve(None, None, None, Some("  "), 4);
+        let (c, w) = Config::resolve(None, None, None, Some("  "), None, None, 4);
         assert_eq!(c.shard_transport, None);
         assert!(w.is_empty());
     }

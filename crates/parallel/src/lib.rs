@@ -40,8 +40,8 @@
 pub mod config;
 
 pub use config::{
-    MAX_SHARDS, MAX_THREADS, NUM_SHARDS_ENV, NUM_THREADS_ENV, SCHED_WORKERS_ENV,
-    SHARD_TRANSPORT_ENV, SHARD_TRANSPORT_NAMES,
+    warn_once, JOB_DEADLINE_MS_ENV, JOB_RETRIES_ENV, MAX_JOB_RETRIES, MAX_SHARDS, MAX_THREADS,
+    NUM_SHARDS_ENV, NUM_THREADS_ENV, SCHED_WORKERS_ENV, SHARD_TRANSPORT_ENV, SHARD_TRANSPORT_NAMES,
 };
 
 use std::ops::Range;
@@ -151,6 +151,42 @@ pub fn sched_workers() -> usize {
 /// ```
 pub fn shard_transport() -> Option<config::ShardTransport> {
     config::get().shard_transport
+}
+
+/// The default per-job retry budget for transport failures, or `None`
+/// when unset (jobs then run exactly once).
+///
+/// Resolved from the `VARSAW_JOB_RETRIES` environment variable — read
+/// once per process and cached, capped at [`MAX_JOB_RETRIES`] (see
+/// [`config`]). The consumer is `sched::JobQueue`, whose retry policy
+/// defaults to this budget when the caller sets none explicitly.
+///
+/// # Examples
+///
+/// ```
+/// // Unset in this process: jobs run once, failures surface directly.
+/// assert_eq!(parallel::job_retries(), None);
+/// ```
+pub fn job_retries() -> Option<u32> {
+    config::get().job_retries
+}
+
+/// The default per-job deadline in milliseconds, or `None` when unset
+/// (jobs then have no deadline).
+///
+/// Resolved from the `VARSAW_JOB_DEADLINE_MS` environment variable —
+/// read once per process and cached (see [`config`]). The consumer is
+/// `sched::JobQueue`, which checks the deadline at session boundaries
+/// (dispatch, between retry attempts, between measurements).
+///
+/// # Examples
+///
+/// ```
+/// // Unset in this process: no deadline is enforced.
+/// assert_eq!(parallel::job_deadline_ms(), None);
+/// ```
+pub fn job_deadline_ms() -> Option<u64> {
+    config::get().job_deadline_ms
 }
 
 /// The contiguous index range worker `w` of `workers` owns in `0..len`.

@@ -77,4 +77,6 @@ pub use qasm::to_qasm;
 pub use sampler::{sample_counts, sample_counts_many, sample_index};
 pub use shard::{ShardedState, Sharding};
 pub use state::{CapacityError, Statevector};
-pub use transport::{FaultInjection, TransportCounters, TransportError, TransportMode};
+pub use transport::{
+    FaultInjection, FaultSchedule, TransportCounters, TransportError, TransportMode,
+};

@@ -81,8 +81,8 @@ use crate::exec::{self, Parallelism};
 use crate::plan::{check_shards, CircuitPlan, PlanOp, ShardPlan, ShardStep};
 use crate::state::{CapacityError, Statevector};
 use crate::transport::{
-    classify_exchange, ExchangeStep, FaultInjection, LocalOps, ShardTransport, TransportCounters,
-    TransportError, TransportMode,
+    classify_exchange, ExchangeStep, FaultInjection, FaultSchedule, LocalOps, ShardTransport,
+    TransportCounters, TransportError, TransportMode,
 };
 
 /// How an executor decomposes statevector simulation across amplitude
@@ -153,6 +153,15 @@ pub struct ShardedState {
     parallelism: Parallelism,
     transport: TransportMode,
     fault: FaultInjection,
+    /// Per-session fault draws: when no explicit [`FaultInjection`] is
+    /// installed, each transport session draws its injection from this
+    /// schedule at coordinate `(stream, session)`.
+    schedule: FaultSchedule,
+    /// The schedule stream this state draws from (supervisors vary it
+    /// per attempt so retries get independent draws).
+    stream: u64,
+    /// Transport sessions opened so far — the schedule's session index.
+    session: u64,
     counters: TransportCounters,
     /// Set when a transport session failed mid-plan: the shard contents
     /// are no longer a coherent state, so further use is refused.
@@ -216,6 +225,9 @@ impl ShardedState {
             parallelism: Parallelism::Auto,
             transport: TransportMode::from_env(),
             fault: FaultInjection::none(),
+            schedule: FaultSchedule::none(),
+            stream: 0,
+            session: 0,
             counters: TransportCounters::default(),
             poisoned: false,
         })
@@ -243,6 +255,9 @@ impl ShardedState {
             parallelism: Parallelism::Auto,
             transport: TransportMode::from_env(),
             fault: FaultInjection::none(),
+            schedule: FaultSchedule::none(),
+            stream: 0,
+            session: 0,
             counters: TransportCounters::default(),
             poisoned: false,
         }
@@ -266,10 +281,31 @@ impl ShardedState {
     }
 
     /// Installs chaos-testing fault injection for subsequent transport
-    /// sessions (see [`FaultInjection`]; testing hook).
+    /// sessions (see [`FaultInjection`]; testing hook). An explicit
+    /// injection overrides any installed [`FaultSchedule`].
     pub fn with_fault(mut self, fault: FaultInjection) -> Self {
         self.fault = fault;
         self
+    }
+
+    /// Installs a seed-deterministic [`FaultSchedule`]: each subsequent
+    /// transport session draws its [`FaultInjection`] at schedule
+    /// coordinate `(stream, session index)`, where the session index
+    /// counts sessions this state has opened. Supervisors give every
+    /// retry attempt a distinct `stream` so attempts draw independently
+    /// while staying exactly reproducible.
+    pub fn with_fault_schedule(mut self, schedule: FaultSchedule, stream: u64) -> Self {
+        self.schedule = schedule;
+        self.stream = stream;
+        self
+    }
+
+    /// Whether a transport session failed mid-plan, leaving the shard
+    /// contents incoherent. Every fallible entry point on a poisoned
+    /// state returns [`TransportError::Poisoned`]; the infallible reads
+    /// panic. Supervisors quarantine and rebuild instead of reusing.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
     }
 
     /// The transport backend this state moves amplitudes with.
@@ -398,8 +434,14 @@ impl ShardedState {
         let workers = self.workers();
         let local_bits = self.local_bits;
         let nshards = self.shards.len();
+        let fault = if self.fault.is_none() {
+            self.schedule.injection(self.stream, self.session, nshards)
+        } else {
+            self.fault
+        };
+        self.session += 1;
         let shards = std::mem::take(&mut self.shards);
-        let mut session = self.transport.connect(shards, local_bits, &self.fault)?;
+        let mut session = self.transport.connect(shards, local_bits, &fault)?;
         let run = run_steps(session.as_mut(), sp, local_bits, nshards, workers);
         self.counters.merge(&session.counters());
         let result = run.and_then(|()| session.finish());
@@ -436,7 +478,22 @@ impl ShardedState {
 
     /// Gathers the shards back into a dense [`Statevector`] in logical
     /// basis ordering (un-permuting the adopted layout).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state is poisoned (see
+    /// [`ShardedState::try_to_statevector`] for the fallible variant).
     pub fn to_statevector(&self) -> Statevector {
+        self.try_to_statevector().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`ShardedState::to_statevector`], but returns
+    /// [`TransportError::Poisoned`] instead of panicking when a failed
+    /// transport session left the shard contents incoherent.
+    pub fn try_to_statevector(&self) -> Result<Statevector, TransportError> {
+        if self.poisoned {
+            return Err(TransportError::Poisoned);
+        }
         let dim = self.shards.len() << self.local_bits;
         let moved: Vec<(usize, usize)> = self
             .layout
@@ -468,16 +525,36 @@ impl ShardedState {
                 }
             }
         }
-        Statevector::from_amplitudes(amps)
+        Ok(Statevector::from_amplitudes(amps))
     }
 
     /// The full outcome distribution in logical basis ordering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state is poisoned (see
+    /// [`ShardedState::try_probabilities`]).
     pub fn probabilities(&self) -> Vec<f64> {
         self.to_statevector().probabilities()
     }
 
+    /// Like [`ShardedState::probabilities`], but returns
+    /// [`TransportError::Poisoned`] instead of panicking.
+    pub fn try_probabilities(&self) -> Result<Vec<f64>, TransportError> {
+        Ok(self.try_to_statevector()?.probabilities())
+    }
+
     /// The squared norm (1 for a valid state; useful in tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state is poisoned: a failed session kept the shard
+    /// buffers, so there is no norm to report.
     pub fn norm_sqr(&self) -> f64 {
+        assert!(
+            !self.poisoned,
+            "shard transport: session poisoned by an earlier failure"
+        );
         self.shards.iter().flatten().map(|a| a.norm_sqr()).sum()
     }
 }
@@ -698,6 +775,58 @@ mod tests {
         assert_eq!(auto_shard_count(&Circuit::new(20).stats()), 4);
         // Never more shards than amplitudes.
         assert!(auto_shard_count(&Circuit::new(1).stats()) <= 2);
+    }
+
+    #[test]
+    fn fault_schedule_kills_typed_and_poisons_reads() {
+        let mut c = Circuit::new(4);
+        c.h(3).cx(3, 0);
+        let plan = CircuitPlan::compile(&c);
+        // Certain-kill schedule: the first session draws a dead rank.
+        let mut sharded =
+            ShardedState::zero(4, 4).with_fault_schedule(FaultSchedule::new(7, 1000, 0), 0);
+        let err = sharded.try_apply_plan(&plan).unwrap_err();
+        assert!(
+            matches!(err, TransportError::Disconnected { .. }),
+            "got {err:?}"
+        );
+        assert!(sharded.is_poisoned());
+        assert_eq!(
+            sharded.try_to_statevector().unwrap_err(),
+            TransportError::Poisoned
+        );
+        assert_eq!(
+            sharded.try_probabilities().unwrap_err(),
+            TransportError::Poisoned
+        );
+        assert_eq!(
+            sharded.try_apply_plan(&plan).unwrap_err(),
+            TransportError::Poisoned
+        );
+    }
+
+    #[test]
+    fn empty_fault_schedule_stays_bit_identical() {
+        let mut c = Circuit::new(4);
+        c.h(0).cx(0, 1).cx(1, 2).ry(3, 0.7).cx(2, 3);
+        let plan = CircuitPlan::compile(&c);
+        let mut serial = Statevector::zero(4);
+        serial.apply_plan(&plan);
+        let mut sharded =
+            ShardedState::zero(4, 4).with_fault_schedule(FaultSchedule::new(7, 0, 0), 3);
+        sharded.apply_plan(&plan);
+        assert!(!sharded.is_poisoned());
+        assert_eq!(serial.amplitudes(), sharded.to_statevector().amplitudes());
+    }
+
+    #[test]
+    #[should_panic(expected = "poisoned")]
+    fn poisoned_norm_panics_with_a_clear_message() {
+        let mut c = Circuit::new(4);
+        c.h(3);
+        let mut sharded = ShardedState::zero(4, 4).with_fault(FaultInjection::kill_rank(0));
+        let _ = sharded.try_apply_plan(&CircuitPlan::compile(&c));
+        sharded.norm_sqr();
     }
 
     #[test]

@@ -209,7 +209,7 @@ impl TransportMode {
         fault: &FaultInjection,
     ) -> Result<Box<dyn ShardTransport>, TransportError> {
         match self {
-            TransportMode::Local => Ok(Box::new(LocalSwap::new(shards, local_bits))),
+            TransportMode::Local => Ok(Box::new(LocalSwap::with_fault(shards, local_bits, fault))),
             TransportMode::Channel => {
                 Ok(Box::new(ChannelRanks::connect(shards, local_bits, fault)?))
             }
@@ -218,12 +218,16 @@ impl TransportMode {
 }
 
 /// Chaos-testing hooks for transport sessions, settable through
-/// `ShardedState::with_fault`. The default injects nothing.
+/// `ShardedState::with_fault` (or drawn per session from a
+/// [`FaultSchedule`]). The default injects nothing.
 ///
-/// [`LocalSwap`] moves no words and owns no ranks, so it ignores both
-/// hooks; on [`ChannelRanks`] they prove the hard claims — corruption is
+/// On [`ChannelRanks`] both hooks prove the hard claims — corruption is
 /// caught by the equivalence oracle (the cross-backend proptests are
 /// non-vacuous) and a dead rank surfaces a typed error, not a deadlock.
+/// [`LocalSwap`] owns no ranks but honors [`FaultInjection::kill_rank`]
+/// all the same (a movement step touching the killed shard index fails
+/// typed), so supervisors can rehearse recovery on either backend; it
+/// moves no wire words, so `corrupt_word` has nothing to corrupt there.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct FaultInjection {
     corrupt_word: Option<u64>,
@@ -256,6 +260,113 @@ impl FaultInjection {
             ..Default::default()
         }
     }
+
+    /// Whether this injection does anything at all.
+    pub fn is_none(&self) -> bool {
+        self.corrupt_word.is_none() && self.kill_rank.is_none()
+    }
+}
+
+/// A seed-deterministic schedule of transport faults: which fault kind
+/// hits which rank in which session, driven by a SplitMix64 stream, so
+/// chaos runs are exactly reproducible.
+///
+/// A schedule is a pure function: [`FaultSchedule::injection`] maps
+/// `(schedule seed, stream, session index, rank count)` to one
+/// [`FaultInjection`] with no hidden state, so two runs with the same
+/// coordinates draw identical faults — and a supervisor retrying a
+/// failed job can vary the `stream` coordinate (e.g. mix in the attempt
+/// number) to give each attempt an independent draw without perturbing
+/// any other job's schedule.
+///
+/// Rates are per-mille probabilities per session. Kill faults take
+/// priority over corruption when both fire; a session whose draws all
+/// miss gets [`FaultInjection::none`].
+///
+/// # Examples
+///
+/// ```
+/// use qsim::FaultSchedule;
+///
+/// let schedule = FaultSchedule::new(42, 500, 0); // kill ~half the sessions
+/// // Pure: the same coordinates always draw the same fault.
+/// assert_eq!(schedule.injection(7, 0, 4), schedule.injection(7, 0, 4));
+/// // Different sessions draw independently.
+/// let hits = (0..100)
+///     .filter(|&s| !schedule.injection(7, s, 4).is_none())
+///     .count();
+/// assert!(hits > 20 && hits < 80, "~50% of sessions draw a kill: {hits}");
+/// assert!(FaultSchedule::none().injection(7, 0, 4).is_none());
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultSchedule {
+    seed: u64,
+    kill_per_mille: u16,
+    corrupt_per_mille: u16,
+}
+
+impl FaultSchedule {
+    /// An empty schedule: every session draws [`FaultInjection::none`].
+    pub fn none() -> Self {
+        FaultSchedule::default()
+    }
+
+    /// A schedule drawing rank kills with probability `kill_per_mille`/1000
+    /// and wire-word corruption with probability `corrupt_per_mille`/1000
+    /// per session, deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either rate exceeds 1000.
+    pub fn new(seed: u64, kill_per_mille: u16, corrupt_per_mille: u16) -> Self {
+        assert!(kill_per_mille <= 1000, "kill rate is per mille");
+        assert!(corrupt_per_mille <= 1000, "corrupt rate is per mille");
+        FaultSchedule {
+            seed,
+            kill_per_mille,
+            corrupt_per_mille,
+        }
+    }
+
+    /// Whether this schedule can ever inject a fault.
+    pub fn is_none(&self) -> bool {
+        self.kill_per_mille == 0 && self.corrupt_per_mille == 0
+    }
+
+    /// Draws the fault for session `session` of stream `stream` over
+    /// `nranks` ranks — a pure function of the four coordinates.
+    pub fn injection(&self, stream: u64, session: u64, nranks: usize) -> FaultInjection {
+        if self.is_none() || nranks == 0 {
+            return FaultInjection::none();
+        }
+        // One SplitMix64 walk per (seed, stream, session) coordinate;
+        // successive outputs decide kind, target rank, and target word.
+        let mut x = splitmix64(
+            self.seed
+                ^ splitmix64(stream).wrapping_add(splitmix64(session ^ 0x9E37_79B9_7F4A_7C15)),
+        );
+        let mut next = || {
+            x = splitmix64(x);
+            x
+        };
+        if next() % 1000 < u64::from(self.kill_per_mille) {
+            return FaultInjection::kill_rank((next() % nranks as u64) as usize);
+        }
+        if next() % 1000 < u64::from(self.corrupt_per_mille) {
+            return FaultInjection::corrupt_word(next() % 256);
+        }
+        FaultInjection::none()
+    }
+}
+
+/// SplitMix64's output mix: a cheap, high-quality finalizer (the same
+/// family `sched::job_seed` uses), so fault draws decorrelate even for
+/// adjacent stream/session coordinates.
+fn splitmix64(v: u64) -> u64 {
+    let mut z = v.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// A batched run of shard-local plan ops, cheaply cloneable so a
@@ -527,16 +638,50 @@ pub struct LocalSwap {
     shards: Vec<Vec<C64>>,
     shard_len: usize,
     counters: TransportCounters,
+    /// The shard index playing a dead rank, from
+    /// [`FaultInjection::kill_rank`] — any movement step touching it
+    /// fails typed, mirroring the channel backend's failure surface.
+    killed: Option<usize>,
+    failed: bool,
 }
 
 impl LocalSwap {
     /// Opens a session owning `shards` (each `2^local_bits` amplitudes).
     pub fn new(shards: Vec<Vec<C64>>, local_bits: usize) -> Self {
+        LocalSwap::with_fault(shards, local_bits, &FaultInjection::none())
+    }
+
+    /// Opens a session with injected faults. The in-process backend has
+    /// no wire, so only [`FaultInjection::kill_rank`] is honored (a
+    /// killed shard index fails every step that touches it);
+    /// `corrupt_word` has no words to corrupt and is ignored.
+    pub fn with_fault(shards: Vec<Vec<C64>>, local_bits: usize, fault: &FaultInjection) -> Self {
+        let killed = fault.kill_rank.filter(|&r| r < shards.len());
         LocalSwap {
             shards,
             shard_len: 1usize << local_bits,
             counters: TransportCounters::default(),
+            killed,
+            failed: false,
         }
+    }
+
+    /// Fails a step when the session is poisoned or a killed shard index
+    /// participates in it (`touches`). Mirrors [`ChannelRanks`]: the
+    /// first failure poisons the session for every later step.
+    fn check(
+        &mut self,
+        touches: impl Fn(usize) -> bool,
+        step: &'static str,
+    ) -> Result<(), TransportError> {
+        if self.failed {
+            return Err(TransportError::Poisoned);
+        }
+        if let Some(rank) = self.killed.filter(|&r| touches(r)) {
+            self.failed = true;
+            return Err(TransportError::Disconnected { rank, step });
+        }
+        Ok(())
     }
 }
 
@@ -550,6 +695,7 @@ impl ShardTransport for LocalSwap {
     }
 
     fn run_local(&mut self, ops: &LocalOps, workers: usize) -> Result<(), TransportError> {
+        self.check(|_| true, "local run")?;
         let nshards = self.shards.len();
         let w = workers.min(nshards).max(1);
         parallel::for_each_chunk_mut(&mut self.shards, w, |wi, chunk| {
@@ -568,6 +714,7 @@ impl ShardTransport for LocalSwap {
         kernel: &ExchangeKernel,
         workers: usize,
     ) -> Result<(), TransportError> {
+        self.check(|_| true, "pair exchange")?;
         // Sub-split each shard pair so small shard counts still saturate
         // the workers; power-of-two split counts keep slices aligned to
         // the kernel's condition/pair bits.
@@ -606,6 +753,7 @@ impl ShardTransport for LocalSwap {
         kernel: &QuadBlockKernel,
         workers: usize,
     ) -> Result<(), TransportError> {
+        self.check(|_| true, "quad exchange")?;
         let nquads = self.shards.len() / 4;
         let splits = workers
             .div_ceil(nquads.max(1))
@@ -650,6 +798,10 @@ impl ShardTransport for LocalSwap {
     }
 
     fn plane_swap(&mut self, swaps: &[(usize, usize)]) -> Result<(), TransportError> {
+        self.check(
+            |r| swaps.iter().any(|&(a, b)| a == r || b == r),
+            "plane swap",
+        )?;
         for &(a, b) in swaps {
             self.shards.swap(a, b);
         }
@@ -662,6 +814,9 @@ impl ShardTransport for LocalSwap {
     }
 
     fn finish(self: Box<Self>) -> Result<Vec<Vec<C64>>, TransportError> {
+        if self.failed {
+            return Err(TransportError::Poisoned);
+        }
         Ok(self.shards)
     }
 }
@@ -1423,6 +1578,64 @@ mod tests {
             Err(TransportError::Poisoned)
         );
         assert_eq!(Box::new(chan).finish(), Err(TransportError::Poisoned));
+    }
+
+    #[test]
+    fn local_backend_honors_kill_rank_typed_and_poisons() {
+        let mut local = LocalSwap::with_fault(two_shards(), 1, &FaultInjection::kill_rank(1));
+        let err = local
+            .exchange_pairs(1, &h_kernel(), 1)
+            .expect_err("killed shard index must fail the step");
+        assert_eq!(
+            err,
+            TransportError::Disconnected {
+                rank: 1,
+                step: "pair exchange"
+            }
+        );
+        assert_eq!(
+            local.run_local(&LocalOps::new(&[], 1), 1),
+            Err(TransportError::Poisoned)
+        );
+        assert_eq!(Box::new(local).finish(), Err(TransportError::Poisoned));
+    }
+
+    #[test]
+    fn local_backend_ignores_out_of_range_kills_and_corruption() {
+        let mut local = LocalSwap::with_fault(two_shards(), 1, &FaultInjection::kill_rank(7));
+        local.exchange_pairs(1, &h_kernel(), 1).unwrap();
+        let mut local = LocalSwap::with_fault(two_shards(), 1, &FaultInjection::corrupt_word(0));
+        local.exchange_pairs(1, &h_kernel(), 1).unwrap();
+        Box::new(local).finish().unwrap();
+    }
+
+    #[test]
+    fn fault_schedules_are_pure_and_rate_bounded() {
+        let schedule = FaultSchedule::new(99, 250, 250);
+        for session in 0..32 {
+            for stream in 0..4 {
+                assert_eq!(
+                    schedule.injection(stream, session, 8),
+                    schedule.injection(stream, session, 8),
+                    "stream {stream} session {session}"
+                );
+            }
+        }
+        // Streams decorrelate: two streams must not share their full
+        // fault pattern (probability ~2^-32 under independent draws).
+        let pattern = |stream: u64| -> Vec<FaultInjection> {
+            (0..64).map(|s| schedule.injection(stream, s, 8)).collect()
+        };
+        assert_ne!(pattern(0), pattern(1), "streams must draw independently");
+        // An always-kill schedule targets a valid rank every session.
+        let always = FaultSchedule::new(5, 1000, 0);
+        for session in 0..16 {
+            let inj = always.injection(0, session, 4);
+            let rank = inj.kill_rank.expect("rate 1000 always kills");
+            assert!(rank < 4, "rank {rank} out of range");
+        }
+        assert!(FaultSchedule::none().is_none());
+        assert!(FaultSchedule::none().injection(3, 3, 4).is_none());
     }
 
     #[test]

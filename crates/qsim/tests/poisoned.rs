@@ -1,0 +1,186 @@
+//! Poisoned-state contract: once a transport session fails, every
+//! fallible `ShardedState` entry point returns
+//! [`TransportError::Poisoned`] — never a panic, never stale
+//! amplitudes — and the infallible convenience wrappers panic with a
+//! message that names the poisoning, on **both** transports. The
+//! `sched` supervisor's quarantine-and-rebuild step leans on exactly
+//! this: a poisoned state must be inert, not booby-trapped.
+
+use qsim::plan::ShardPlan;
+use qsim::{
+    Circuit, CircuitPlan, FaultInjection, FaultSchedule, ShardedState, TransportError,
+    TransportMode,
+};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+const TRANSPORTS: [TransportMode; 2] = [TransportMode::Local, TransportMode::Channel];
+
+/// A 5-qubit circuit that moves amplitudes through every shard: global
+/// qubits (3, 4 under 4 shards) get H and entangling gates, so every
+/// rank participates and any killed rank is hit.
+fn stirring_circuit() -> Circuit {
+    let mut c = Circuit::new(5);
+    for q in 0..5 {
+        c.h(q);
+    }
+    for q in 0..4 {
+        c.cx(q, q + 1);
+    }
+    c.swap(0, 4);
+    c
+}
+
+/// Builds a state, kills `rank`, applies the stirring circuit, and
+/// returns the poisoned wreck plus the typed error that poisoned it.
+fn poisoned_state(transport: TransportMode, rank: usize) -> (ShardedState, TransportError) {
+    let mut st = ShardedState::zero(5, 4)
+        .with_transport(transport)
+        .with_fault(FaultInjection::kill_rank(rank));
+    let err = st
+        .try_apply_plan(&CircuitPlan::compile(&stirring_circuit()))
+        .expect_err("a killed rank must fail the session");
+    assert!(st.is_poisoned());
+    (st, err)
+}
+
+#[test]
+fn first_failure_is_typed_not_poisoned() {
+    // The session that dies reports *what* died; only subsequent calls
+    // see `Poisoned`.
+    for transport in TRANSPORTS {
+        for rank in 0..4 {
+            let (_, err) = poisoned_state(transport, rank);
+            match err {
+                TransportError::Disconnected { rank: r, .. } => {
+                    assert_eq!(r, rank, "{}", transport.name())
+                }
+                other => panic!("{}: expected Disconnected, got {other}", transport.name()),
+            }
+        }
+    }
+}
+
+#[test]
+fn every_fallible_entry_point_returns_poisoned() {
+    for transport in TRANSPORTS {
+        let (mut st, _) = poisoned_state(transport, 1);
+        let plan = CircuitPlan::compile(&stirring_circuit());
+        let name = transport.name();
+        assert_eq!(
+            st.try_apply_plan(&plan),
+            Err(TransportError::Poisoned),
+            "{name}"
+        );
+        let sp = ShardPlan::analyze(&plan, 4);
+        assert_eq!(
+            st.try_apply_shard_plan(&sp),
+            Err(TransportError::Poisoned),
+            "{name}"
+        );
+        assert_eq!(
+            st.try_to_statevector().unwrap_err(),
+            TransportError::Poisoned,
+            "{name}"
+        );
+        assert_eq!(
+            st.try_probabilities().unwrap_err(),
+            TransportError::Poisoned,
+            "{name}"
+        );
+        // Still poisoned after all that prodding — the flag is sticky.
+        assert!(st.is_poisoned(), "{name}");
+    }
+}
+
+#[test]
+fn infallible_reads_panic_naming_the_poisoning() {
+    for transport in TRANSPORTS {
+        let (st, _) = poisoned_state(transport, 0);
+        for (what, result) in [
+            (
+                "to_statevector",
+                catch_unwind(AssertUnwindSafe(|| {
+                    st.to_statevector();
+                })),
+            ),
+            (
+                "probabilities",
+                catch_unwind(AssertUnwindSafe(|| {
+                    st.probabilities();
+                })),
+            ),
+            (
+                "norm_sqr",
+                catch_unwind(AssertUnwindSafe(|| {
+                    st.norm_sqr();
+                })),
+            ),
+        ] {
+            let payload = result.expect_err("poisoned read must not succeed");
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_default();
+            assert!(
+                msg.contains("poisoned"),
+                "{}: {what} panic message must name the poisoning, got {msg:?}",
+                transport.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn metadata_accessors_stay_safe_on_a_poisoned_state() {
+    // Quarantine code inspects the wreck before discarding it; the
+    // cheap accessors must not add panics of their own.
+    for transport in TRANSPORTS {
+        let (st, _) = poisoned_state(transport, 2);
+        assert_eq!(st.num_qubits(), 5);
+        assert_eq!(st.shard_len(), 8);
+        assert_eq!(st.layout().len(), 5);
+        assert_eq!(st.transport(), transport);
+        let _ = st.shard_stats();
+    }
+}
+
+#[test]
+fn schedule_driven_poisoning_matches_explicit_injection() {
+    // The seed-deterministic schedule path poisons exactly like the
+    // explicit hook: typed first failure, `Poisoned` ever after.
+    for transport in TRANSPORTS {
+        let mut st = ShardedState::zero(5, 4)
+            .with_transport(transport)
+            .with_fault_schedule(FaultSchedule::new(3, 1000, 0), 77);
+        let plan = CircuitPlan::compile(&stirring_circuit());
+        let err = st.try_apply_plan(&plan).unwrap_err();
+        assert!(
+            matches!(err, TransportError::Disconnected { .. }),
+            "{}: {err}",
+            transport.name()
+        );
+        assert!(st.is_poisoned());
+        assert_eq!(st.try_apply_plan(&plan), Err(TransportError::Poisoned));
+    }
+}
+
+#[test]
+fn fresh_state_after_quarantine_is_unaffected() {
+    // Rebuilding — what the supervisor actually does — yields a state
+    // with no memory of the failure: bit-identical to a never-faulted run.
+    for transport in TRANSPORTS {
+        let (_wreck, _) = poisoned_state(transport, 3);
+        let plan = CircuitPlan::compile(&stirring_circuit());
+        let mut rebuilt = ShardedState::zero(5, 4).with_transport(transport);
+        rebuilt.try_apply_plan(&plan).unwrap();
+        let mut reference = ShardedState::zero(5, 4);
+        reference.try_apply_plan(&plan).unwrap();
+        assert_eq!(
+            rebuilt.to_statevector().amplitudes(),
+            reference.to_statevector().amplitudes(),
+            "{}",
+            transport.name()
+        );
+    }
+}

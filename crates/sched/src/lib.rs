@@ -28,11 +28,26 @@
 //!   ([`JobQueue::plan_cache_stats`]).
 //!
 //! Completion is surfaced per job through a [`JobHandle`] — poll with
-//! [`JobHandle::try_result`] or block with [`JobHandle::wait`] — and the
-//! queue itself is driven by [`JobQueue::drain`], which runs
+//! [`JobHandle::try_result`], block with [`JobHandle::wait`], or block
+//! boundedly with [`JobHandle::wait_timeout`] — and the queue itself is
+//! driven by [`JobQueue::drain`], which runs
 //! [`parallel::sched_workers`] scoped workers (override per queue with
 //! [`JobQueue::with_workers`], or process-wide with the
 //! `VARSAW_SCHED_WORKERS` environment variable).
+//!
+//! On top of the queue sits a **fault supervisor**: transport failures
+//! ([`JobError::Transport`]) retry under a deterministic [`RetryPolicy`]
+//! (env knob `VARSAW_JOB_RETRIES`), optionally stepping down a
+//! degradation ladder — channel transport → local transport → unsharded
+//! serial — recorded per job as [`JobOutput::attempts`] and
+//! [`JobOutput::degraded_to`]. Jobs carry deadlines (env knob
+//! `VARSAW_JOB_DEADLINE_MS`, or [`JobQueue::submit_with_deadline`]) and
+//! support cooperative cancellation ([`JobHandle::cancel`]); both are
+//! honored at session boundaries. Chaos runs drive the whole ladder
+//! reproducibly through [`JobQueue::with_fault_schedule`], and every
+//! completion path — success, typed error, even a panic — releases the
+//! job's memory budget and wakes parked workers (`tests/chaos.rs`
+//! property-tests the oracle).
 //!
 //! # Example
 //!
@@ -76,6 +91,6 @@ mod fair;
 mod queue;
 
 pub use queue::{
-    job_seed, AdmitError, JobError, JobHandle, JobOutput, JobQueue, JobSpec, MeasureScope,
-    Measurement,
+    job_seed, AdmitError, Degradation, JobError, JobHandle, JobOutput, JobQueue, JobSpec,
+    MeasureScope, Measurement, RetryPolicy,
 };

@@ -5,11 +5,15 @@ use mitigation::Pmf;
 use pauli::PauliString;
 use qnoise::DeviceModel;
 use qsim::{
-    CapacityError, Circuit, Parallelism, Sharding, SharedPlanCache, TransportError, TransportMode,
+    CapacityError, Circuit, FaultSchedule, Parallelism, Sharding, SharedPlanCache, TransportError,
+    TransportMode,
 };
 use std::collections::HashSet;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 use vqe::{PrepareError, SimExecutor};
 
 /// The dense-plane representation limit (qubits) of the statevector
@@ -107,7 +111,124 @@ pub struct JobOutput {
     pub pmfs: Vec<Pmf>,
     /// Metered circuit executions (the paper's Cost metric) — exactly
     /// what a sequential [`SimExecutor`] run of this job would report.
+    /// Failed attempts meter nothing: only the successful attempt's cost
+    /// is billed, so retries never inflate a tenant's Cost.
     pub cost: u64,
+    /// Execution attempts the supervisor spent (1 = no fault seen).
+    pub attempts: u32,
+    /// How far the supervisor degraded the execution tier to complete
+    /// this job (`None` = ran at the configured tier). Every tier is
+    /// bit-identical, so degradation never changes the PMFs.
+    pub degraded_to: Option<Degradation>,
+}
+
+/// How far the supervisor's degradation ladder stepped a job down from
+/// its configured execution tier after repeated transport faults. All
+/// tiers are bit-identical — degradation trades communication realism
+/// for reliability, never results.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Degradation {
+    /// Fell back from the message-passing channel transport to
+    /// in-process local swaps (still sharded).
+    LocalTransport,
+    /// Fell back to unsharded serial execution, which opens no transport
+    /// session and therefore cannot fault.
+    Unsharded,
+}
+
+impl fmt::Display for Degradation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Degradation::LocalTransport => write!(f, "local transport"),
+            Degradation::Unsharded => write!(f, "unsharded serial"),
+        }
+    }
+}
+
+/// How the [`JobQueue`] supervisor responds to a [`JobError::Transport`]
+/// failure: up to `max_attempts` total attempts with deterministic
+/// exponential backoff, optionally stepping down the degradation ladder
+/// (channel transport → local transport → unsharded serial) one rung per
+/// failure.
+///
+/// Retries preserve the queue's determinism contract: every attempt
+/// rebuilds the job's executor from the same [`job_seed`], so a job that
+/// eventually succeeds is bit-identical to its fault-free reference no
+/// matter how many attempts it took — and failed attempts consume no
+/// shared RNG, so co-tenants are never perturbed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (≥ 1): the first run plus up to
+    /// `max_attempts - 1` retries.
+    pub max_attempts: u32,
+    /// Base backoff before the first retry; attempt `n` waits
+    /// `backoff · 2ⁿ⁻¹`, capped at one second. The wait is cooperative:
+    /// cancellation and deadlines are honored while backing off.
+    pub backoff: Duration,
+    /// Whether retries may step down the degradation ladder. When
+    /// `false`, every attempt runs at the configured tier.
+    pub degrade: bool,
+}
+
+impl RetryPolicy {
+    /// No supervision: one attempt, no backoff, no degradation.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff: Duration::ZERO,
+            degrade: true,
+        }
+    }
+
+    /// `retries` retries after the first attempt, no backoff, with
+    /// degradation enabled — the common test/chaos shape.
+    pub fn retries(retries: u32) -> Self {
+        RetryPolicy {
+            max_attempts: retries.saturating_add(1),
+            backoff: Duration::ZERO,
+            degrade: true,
+        }
+    }
+
+    /// The environment-configured policy: `VARSAW_JOB_RETRIES` retries
+    /// ([`parallel::job_retries`], default 0) with a 10 ms base backoff
+    /// and degradation enabled.
+    pub fn from_env() -> Self {
+        RetryPolicy {
+            max_attempts: parallel::job_retries().unwrap_or(0).saturating_add(1),
+            backoff: Duration::from_millis(10),
+            degrade: true,
+        }
+    }
+
+    /// Replaces the base backoff.
+    pub fn with_backoff(mut self, backoff: Duration) -> Self {
+        self.backoff = backoff;
+        self
+    }
+
+    /// Replaces the degradation setting.
+    pub fn with_degrade(mut self, degrade: bool) -> Self {
+        self.degrade = degrade;
+        self
+    }
+
+    /// The deterministic backoff before retrying after failed attempt
+    /// `attempt` (1-based): `backoff · 2^(attempt−1)`, capped at 1 s.
+    fn delay(&self, attempt: u32) -> Duration {
+        const CAP: Duration = Duration::from_secs(1);
+        let shift = attempt.saturating_sub(1).min(16);
+        self.backoff.saturating_mul(1 << shift).min(CAP)
+    }
+}
+
+impl Default for RetryPolicy {
+    /// [`RetryPolicy::none`] — supervision is opt-in per queue (or via
+    /// the environment through [`RetryPolicy::from_env`], which
+    /// [`JobQueue::new`] installs).
+    fn default() -> Self {
+        RetryPolicy::none()
+    }
 }
 
 /// Why a submitted job was refused at admission. Admission rejects only
@@ -210,8 +331,23 @@ pub enum JobError {
     /// Sharded preparation failed inside the shard-transport layer (a
     /// rank disconnected or timed out) — see [`qsim::TransportError`].
     /// Unlike a capacity refusal, this is a property of the execution,
-    /// not the request: the job may be retried.
+    /// not the request: the supervisor retries it under the queue's
+    /// [`RetryPolicy`]; this error reports the **last** attempt's
+    /// failure after the policy was exhausted.
     Transport(TransportError),
+    /// The job was cancelled through [`JobHandle::cancel`] before it
+    /// completed (checked at dispatch, between measurements, and while
+    /// backing off between retry attempts).
+    Cancelled,
+    /// The job's deadline passed before it completed (see
+    /// [`JobQueue::with_deadline`] / [`JobQueue::submit_with_deadline`];
+    /// checked at the same cooperative boundaries as cancellation).
+    DeadlineExceeded,
+    /// The job's execution panicked. The supervisor converts the unwind
+    /// into this typed error so the worker survives, the job's memory
+    /// budget is released, and parked co-workers are woken — a panicking
+    /// job can neither deadlock the drain nor leak budget.
+    Panicked(String),
 }
 
 impl fmt::Display for JobError {
@@ -219,6 +355,9 @@ impl fmt::Display for JobError {
         match self {
             JobError::Capacity(e) => write!(f, "job failed to allocate its state: {e}"),
             JobError::Transport(e) => write!(f, "job failed in shard transport: {e}"),
+            JobError::Cancelled => write!(f, "job was cancelled"),
+            JobError::DeadlineExceeded => write!(f, "job missed its deadline"),
+            JobError::Panicked(msg) => write!(f, "job panicked: {msg}"),
         }
     }
 }
@@ -245,6 +384,9 @@ impl From<PrepareError> for JobError {
 struct Slot {
     cell: Mutex<Option<Result<JobOutput, JobError>>>,
     ready: Condvar,
+    /// Set by [`JobHandle::cancel`]; workers observe it cooperatively at
+    /// session boundaries.
+    cancelled: AtomicBool,
 }
 
 impl Slot {
@@ -305,6 +447,43 @@ impl JobHandle {
                 .unwrap_or_else(|e| e.into_inner());
         }
     }
+
+    /// Blocks until the job completes or `timeout` elapses: `None` on
+    /// timeout, `Some(result)` otherwise. The bounded twin of
+    /// [`JobHandle::wait`] — callers supervising a drain from outside
+    /// (or guarding against a wedged rank) poll with this instead of
+    /// blocking forever.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<JobOutput, JobError>> {
+        let deadline = Instant::now() + timeout;
+        let mut cell = lock(&self.slot.cell);
+        loop {
+            if let Some(result) = cell.as_ref() {
+                return Some(result.clone());
+            }
+            let remaining = deadline.checked_duration_since(Instant::now())?;
+            cell = self
+                .slot
+                .ready
+                .wait_timeout(cell, remaining)
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
+        }
+    }
+
+    /// Requests cooperative cancellation: the job completes with
+    /// [`JobError::Cancelled`] at its next session boundary (dispatch,
+    /// between measurements, or mid-backoff). A job that already
+    /// completed keeps its result — cancellation never rewrites history.
+    /// Idempotent and safe from any thread.
+    pub fn cancel(&self) {
+        self.slot.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested (not whether it has been
+    /// observed — poll [`JobHandle::try_result`] for the outcome).
+    pub fn is_cancelled(&self) -> bool {
+        self.slot.cancelled.load(Ordering::Relaxed)
+    }
 }
 
 /// A job queued for dispatch.
@@ -317,6 +496,8 @@ struct PendingJob {
     /// accounting.
     cost: u64,
     slot: Arc<Slot>,
+    /// Absolute completion deadline (clock starts at submission).
+    deadline: Option<Instant>,
 }
 
 /// Mutable scheduler state behind the queue's mutex.
@@ -395,6 +576,13 @@ pub struct JobQueue {
     budget: u128,
     sharding: Sharding,
     transport: TransportMode,
+    retry: RetryPolicy,
+    /// Default per-job deadline applied at submission (jobs can override
+    /// via [`JobQueue::submit_with_deadline`]).
+    default_deadline: Option<Duration>,
+    /// Chaos seam: each attempt of each job draws its transport faults
+    /// from this schedule on an attempt-specific stream.
+    fault_schedule: FaultSchedule,
     shared: SharedPlanCache,
     state: Mutex<SchedState>,
     /// Workers park here when nothing runnable fits; completions and
@@ -416,6 +604,9 @@ impl JobQueue {
             budget: u128::MAX,
             sharding: Sharding::Off,
             transport: TransportMode::from_env(),
+            retry: RetryPolicy::from_env(),
+            default_deadline: parallel::job_deadline_ms().map(Duration::from_millis),
+            fault_schedule: FaultSchedule::none(),
             shared: SharedPlanCache::new(),
             state: Mutex::new(SchedState {
                 sched: FairScheduler::new(),
@@ -467,6 +658,45 @@ impl JobQueue {
         self
     }
 
+    /// Sets the [`RetryPolicy`] the supervisor applies to
+    /// [`JobError::Transport`] failures (default: the
+    /// environment-configured [`RetryPolicy::from_env`], i.e.
+    /// `VARSAW_JOB_RETRIES` retries). Retried jobs stay bit-identical to
+    /// their fault-free reference — supervision never changes results,
+    /// only whether a faulted job survives.
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// The retry policy the supervisor runs under.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Sets the default per-job deadline (measured from submission;
+    /// default: the `VARSAW_JOB_DEADLINE_MS` environment knob, falling
+    /// back to none). Jobs still queued or running when their deadline
+    /// passes complete with [`JobError::DeadlineExceeded`] at the next
+    /// cooperative check, releasing their budget — a wedged rank cannot
+    /// hold a tenant's budget forever.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.default_deadline = Some(deadline);
+        self
+    }
+
+    /// Installs a seed-deterministic [`FaultSchedule`] as the chaos
+    /// seam: every execution attempt of every job draws its transport
+    /// faults at schedule stream [`job_seed`]`(job_id, attempt)`, so
+    /// fault placement is a pure function of `(schedule, job_id,
+    /// attempt)` — independent of workers, interleaving, and co-tenants,
+    /// and different per attempt (a retried job is not doomed to re-hit
+    /// the same fault).
+    pub fn with_fault_schedule(mut self, schedule: FaultSchedule) -> Self {
+        self.fault_schedule = schedule;
+        self
+    }
+
     /// Sets `tenant`'s fair-share weight (default 1): a weight-3 tenant
     /// drains roughly three times as fast as a weight-1 tenant under
     /// contention.
@@ -481,8 +711,30 @@ impl JobQueue {
     /// Submits a job, returning its completion handle, or a typed
     /// [`AdmitError`] if the job could never run. Admission never panics
     /// and never aborts the process; a rejected job leaves no trace (its
-    /// id stays available).
+    /// id stays available). The queue's default deadline (if any)
+    /// applies, measured from now.
     pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, AdmitError> {
+        self.submit_inner(spec, self.default_deadline)
+    }
+
+    /// [`JobQueue::submit`] with an explicit per-job deadline overriding
+    /// the queue default. The clock starts now — queueing time counts,
+    /// so an admitted job that never fits before its deadline completes
+    /// with [`JobError::DeadlineExceeded`] instead of waiting forever.
+    pub fn submit_with_deadline(
+        &self,
+        spec: JobSpec,
+        deadline: Duration,
+    ) -> Result<JobHandle, AdmitError> {
+        self.submit_inner(spec, Some(deadline))
+    }
+
+    fn submit_inner(
+        &self,
+        spec: JobSpec,
+        deadline: Option<Duration>,
+    ) -> Result<JobHandle, AdmitError> {
+        let deadline = deadline.map(|d| Instant::now() + d);
         let bytes = spec.circuit.stats().state_bytes();
         if spec.circuit.num_qubits() > SIM_MAX_QUBITS {
             return Err(AdmitError::ExceedsSimulator {
@@ -543,6 +795,7 @@ impl JobQueue {
                 bytes,
                 cost,
                 slot,
+                deadline,
             },
         );
         drop(st);
@@ -580,6 +833,15 @@ impl JobQueue {
     /// exceeds the configured budget.
     pub fn peak_in_flight_bytes(&self) -> u128 {
         lock(&self.state).peak_in_flight_bytes
+    }
+
+    /// State bytes of currently running jobs. Exactly zero after a
+    /// completed [`JobQueue::drain`] — every completion path (success,
+    /// typed error, retry exhaustion, cancellation, deadline, even a
+    /// panic) releases its reservation, so chaos runs can assert the
+    /// accounting is airtight.
+    pub fn in_flight_bytes(&self) -> u128 {
+        lock(&self.state).in_flight_bytes
     }
 
     /// Statistics `(structures, hits, misses)` of the plan cache all job
@@ -623,7 +885,13 @@ impl JobQueue {
                     }
                 }
             };
-            let result = self.run_job(&job.spec);
+            // The completion guard: a panic inside job execution must
+            // not unwind past the budget release below — parked
+            // co-workers would wait forever on bytes that never free
+            // (the pressure-park missed-wakeup bug). The unwind becomes
+            // a typed completion instead.
+            let result = catch_unwind(AssertUnwindSafe(|| self.run_job(&job)))
+                .unwrap_or_else(|payload| Err(JobError::Panicked(panic_message(&payload))));
             {
                 let mut st = lock(&self.state);
                 st.in_flight_bytes -= job.bytes;
@@ -635,31 +903,142 @@ impl JobQueue {
         }
     }
 
-    /// Executes one job exactly as a standalone sequential run would:
-    /// fresh executor, seed from [`job_seed`], serial statevector path
-    /// (workers provide the parallelism; pinning jobs serial avoids
+    /// Returns [`JobError::Cancelled`] / [`JobError::DeadlineExceeded`]
+    /// when the job should stop — the cooperative check run at every
+    /// session boundary (dispatch, between measurements, mid-backoff).
+    fn check_alive(job: &PendingJob) -> Result<(), JobError> {
+        if job.slot.cancelled.load(Ordering::Relaxed) {
+            return Err(JobError::Cancelled);
+        }
+        if let Some(deadline) = job.deadline {
+            if Instant::now() >= deadline {
+                return Err(JobError::DeadlineExceeded);
+            }
+        }
+        Ok(())
+    }
+
+    /// The execution tier for degradation-ladder rung `rung`: rung 0 is
+    /// the configured tier; each transport failure under a degrading
+    /// policy steps one rung down — channel transport → local transport
+    /// → unsharded serial (which opens no transport and cannot fault).
+    fn rung(&self, rung: u32) -> (Sharding, TransportMode, Option<Degradation>) {
+        let sharded = !matches!(self.sharding, Sharding::Off);
+        match rung {
+            0 => (self.sharding, self.transport, None),
+            1 if sharded && self.transport == TransportMode::Channel => (
+                self.sharding,
+                TransportMode::Local,
+                Some(Degradation::LocalTransport),
+            ),
+            _ => (
+                Sharding::Off,
+                TransportMode::Local,
+                Some(Degradation::Unsharded),
+            ),
+        }
+    }
+
+    /// Cooperatively waits out a retry backoff: sleeps in short slices
+    /// so cancellation and deadlines interrupt the wait instead of
+    /// stacking on top of it.
+    fn backoff_wait(job: &PendingJob, delay: Duration) -> Result<(), JobError> {
+        const SLICE: Duration = Duration::from_millis(2);
+        let until = Instant::now() + delay;
+        loop {
+            Self::check_alive(job)?;
+            let Some(remaining) = until.checked_duration_since(Instant::now()) else {
+                return Ok(());
+            };
+            std::thread::sleep(remaining.min(SLICE));
+        }
+    }
+
+    /// Supervises one job: run an attempt, and on a transport failure
+    /// quarantine the attempt's poisoned state (it dies with the
+    /// attempt's executor — nothing is reused), back off
+    /// deterministically, optionally step down the degradation ladder,
+    /// and retry on a fresh executor — up to the policy's attempt
+    /// budget. Capacity errors, cancellation, and deadline expiry never
+    /// retry: they are properties of the request or the clock, not of
+    /// the failed execution.
+    fn run_job(&self, job: &PendingJob) -> Result<JobOutput, JobError> {
+        let max_attempts = self.retry.max_attempts.max(1);
+        let mut rung = 0u32;
+        for attempt in 1..=max_attempts {
+            Self::check_alive(job)?;
+            let (sharding, transport, degraded) = self.rung(rung);
+            match self.run_attempt(job, attempt, sharding, transport) {
+                Ok(mut out) => {
+                    out.attempts = attempt;
+                    out.degraded_to = degraded;
+                    return Ok(out);
+                }
+                Err(JobError::Transport(e)) => {
+                    if attempt == max_attempts {
+                        return Err(JobError::Transport(e));
+                    }
+                    if self.retry.degrade {
+                        rung += 1;
+                    }
+                    Self::backoff_wait(job, self.retry.delay(attempt))?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        unreachable!("the attempt loop returns on its last iteration")
+    }
+
+    /// Executes one attempt exactly as a standalone sequential run
+    /// would: fresh executor, seed from [`job_seed`], serial statevector
+    /// path (workers provide the parallelism; pinning jobs serial avoids
     /// oversubscription and keeps per-job RNG streams self-contained).
-    fn run_job(&self, spec: &JobSpec) -> Result<JobOutput, JobError> {
+    /// The attempt's fault-schedule stream is
+    /// [`job_seed`]`(job_id, attempt)`, so chaos draws are a pure
+    /// function of `(schedule, job_id, attempt)`.
+    fn run_attempt(
+        &self,
+        job: &PendingJob,
+        attempt: u32,
+        sharding: Sharding,
+        transport: TransportMode,
+    ) -> Result<JobOutput, JobError> {
+        let spec = &job.spec;
         let seed = job_seed(self.root_seed, spec.job_id);
+        let stream = job_seed(spec.job_id, u64::from(attempt));
         let mut exec = SimExecutor::new(self.device.clone(), self.shots, seed)
             .with_shared_plans(self.shared.clone())
             .with_parallelism(Parallelism::Serial)
-            .with_sharding(self.sharding)
-            .with_transport(self.transport);
+            .with_sharding(sharding)
+            .with_transport(transport)
+            .with_fault_schedule(self.fault_schedule, stream);
         let state = exec.try_prepare(&spec.circuit)?;
-        let pmfs = spec
-            .measurements
-            .iter()
-            .map(|m| match m.scope {
+        let mut pmfs = Vec::with_capacity(spec.measurements.len());
+        for m in &spec.measurements {
+            Self::check_alive(job)?;
+            pmfs.push(match m.scope {
                 MeasureScope::Subset => exec.run_prepared(&state, &m.basis),
                 MeasureScope::Global => exec.run_prepared_all(&state, &m.basis),
-            })
-            .collect();
+            });
+        }
         Ok(JobOutput {
             job_id: spec.job_id,
             tenant: spec.tenant,
             pmfs,
             cost: exec.circuits_executed(),
+            attempts: attempt,
+            degraded_to: None,
         })
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }

@@ -6,8 +6,8 @@ use pauli::PauliString;
 use qnoise::{apply_depolarizing, apply_readout_errors, DeviceModel, ReadoutError};
 use qsim::shard::auto_shard_count;
 use qsim::{
-    CapacityError, Circuit, CircuitPlan, Parallelism, PlanCache, ShardPlan, ShardedState, Sharding,
-    SharedPlanCache, Statevector, TransportError, TransportMode,
+    CapacityError, Circuit, CircuitPlan, FaultInjection, FaultSchedule, Parallelism, PlanCache,
+    ShardPlan, ShardedState, Sharding, SharedPlanCache, Statevector, TransportError, TransportMode,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -120,6 +120,16 @@ pub struct SimExecutor {
     parallelism: Parallelism,
     sharding: Sharding,
     transport: TransportMode,
+    /// Per-session chaos draws: each sharded preparation session draws
+    /// its [`FaultInjection`] from this schedule (none by default).
+    fault_schedule: FaultSchedule,
+    /// The schedule stream this executor draws from — supervisors give
+    /// each retry attempt a distinct stream.
+    fault_stream: u64,
+    /// Preparation sessions opened so far: the schedule's session index,
+    /// advanced deterministically (batches advance by batch length, so
+    /// parallel fan-out draws the same faults as sequential execution).
+    fault_sessions: u64,
     /// Compiled-plan cache keyed by circuit structure: SPSA evaluations,
     /// subset/Global measurement rotations and MBM circuits all share the
     /// handful of shapes a VQE run executes, so after the first iteration
@@ -148,6 +158,9 @@ impl SimExecutor {
             parallelism: Parallelism::Auto,
             sharding: Sharding::Off,
             transport: TransportMode::from_env(),
+            fault_schedule: FaultSchedule::none(),
+            fault_stream: 0,
+            fault_sessions: 0,
             plans: PlanCache::new(),
             shared_plans: None,
         }
@@ -166,6 +179,9 @@ impl SimExecutor {
             parallelism: Parallelism::Auto,
             sharding: Sharding::Off,
             transport: TransportMode::from_env(),
+            fault_schedule: FaultSchedule::none(),
+            fault_stream: 0,
+            fault_sessions: 0,
             plans: PlanCache::new(),
             shared_plans: None,
         }
@@ -289,6 +305,20 @@ impl SimExecutor {
         self.transport
     }
 
+    /// Installs a seed-deterministic [`FaultSchedule`] for sharded
+    /// preparation: each preparation session draws one
+    /// [`FaultInjection`] at schedule coordinate `(stream, session
+    /// index)`, where the session index counts this executor's prepares.
+    /// Unsharded preparation opens no transport session and never
+    /// faults. Supervisors give every retry attempt a distinct `stream`
+    /// so attempts draw independently while each run stays exactly
+    /// reproducible.
+    pub fn with_fault_schedule(mut self, schedule: FaultSchedule, stream: u64) -> Self {
+        self.fault_schedule = schedule;
+        self.fault_stream = stream;
+        self
+    }
+
     /// The shard count preparation of `circuit` resolves to.
     fn resolve_shards(&self, circuit: &Circuit) -> usize {
         match self.sharding {
@@ -324,22 +354,39 @@ impl SimExecutor {
     /// Simulates a compiled plan from `|0…0⟩` on the dense plane or the
     /// sharded executor, surfacing allocation refusals and transport
     /// failures as a typed [`PrepareError`]. All paths are bit-identical.
+    /// `fault` is the chaos injection drawn for this session (only
+    /// sharded execution opens a transport session, so only it can
+    /// fault); a failed session's poisoned state is dropped here — the
+    /// caller never sees it.
     fn try_simulate(
         plan: &CircuitPlan,
         shard_plan: Option<&ShardPlan>,
         mode: Parallelism,
         transport: TransportMode,
+        fault: FaultInjection,
     ) -> Result<Statevector, PrepareError> {
         if let Some(sp) = shard_plan {
             let mut st = ShardedState::try_zero(plan.num_qubits(), sp.num_shards())?
                 .with_parallelism(mode)
-                .with_transport(transport);
+                .with_transport(transport)
+                .with_fault(fault);
             st.try_apply_shard_plan(sp)?;
-            Ok(st.to_statevector())
+            Ok(st.try_to_statevector()?)
         } else {
             let mut st = Statevector::try_zero(plan.num_qubits())?;
             st.apply_plan_with(plan, mode);
             Ok(st)
+        }
+    }
+
+    /// The chaos injection the schedule draws for preparation session
+    /// `session` of a sharded plan (none when unsharded: no transport).
+    fn draw_fault(&self, session: u64, shard_plan: Option<&ShardPlan>) -> FaultInjection {
+        match shard_plan {
+            Some(sp) => self
+                .fault_schedule
+                .injection(self.fault_stream, session, sp.num_shards()),
+            None => FaultInjection::none(),
         }
     }
 
@@ -391,7 +438,9 @@ impl SimExecutor {
     pub fn try_prepare(&mut self, circuit: &Circuit) -> Result<Statevector, PrepareError> {
         let plan = self.plan(circuit);
         let sp = self.shard_plan(&plan, self.resolve_shards(circuit));
-        Self::try_simulate(&plan, sp.as_ref(), self.parallelism, self.transport)
+        let fault = self.draw_fault(self.fault_sessions, sp.as_ref());
+        self.fault_sessions += 1;
+        Self::try_simulate(&plan, sp.as_ref(), self.parallelism, self.transport, fault)
     }
 
     /// Prepares one state per circuit against the shared [`PlanCache`] —
@@ -432,12 +481,19 @@ impl SimExecutor {
         &mut self,
         circuits: &[Circuit],
     ) -> Result<Vec<Statevector>, PrepareError> {
-        let plans: Vec<(CircuitPlan, Option<ShardPlan>)> = circuits
+        // Per-entry session indices are assigned up front (base + i), so
+        // the batch draws the exact faults sequential prepares would —
+        // regardless of whether the fan-out below runs threaded.
+        let base_session = self.fault_sessions;
+        self.fault_sessions += circuits.len() as u64;
+        let plans: Vec<(CircuitPlan, Option<ShardPlan>, FaultInjection)> = circuits
             .iter()
-            .map(|c| {
+            .enumerate()
+            .map(|(i, c)| {
                 let plan = self.plan(c);
                 let sp = self.shard_plan(&plan, self.resolve_shards(c));
-                (plan, sp)
+                let fault = self.draw_fault(base_session + i as u64, sp.as_ref());
+                (plan, sp, fault)
             })
             .collect();
         let transport = self.transport;
@@ -446,14 +502,14 @@ impl SimExecutor {
             && plans.len() > 1
             && parallel::num_threads() > 1
         {
-            parallel::parallel_map(plans, move |(plan, sp)| {
-                Self::try_simulate(plan, sp.as_ref(), Parallelism::Serial, transport)
+            parallel::parallel_map(plans, move |(plan, sp, fault)| {
+                Self::try_simulate(plan, sp.as_ref(), Parallelism::Serial, transport, *fault)
             })
         } else {
             plans
                 .iter()
-                .map(|(plan, sp)| {
-                    Self::try_simulate(plan, sp.as_ref(), self.parallelism, transport)
+                .map(|(plan, sp, fault)| {
+                    Self::try_simulate(plan, sp.as_ref(), self.parallelism, transport, *fault)
                 })
                 .collect()
         };
