@@ -7,7 +7,13 @@
 //! regression check CI uses on the archived `BENCH_*.json` artifacts:
 //! [`parse_bench_json`] reads the criterion shim's record format and
 //! [`compare_runs`] flags kernels whose mean regressed past a ratio
-//! threshold (see the `bench_diff` binary).
+//! threshold (see the `bench_diff` binary). On top of the pairwise
+//! check sits the rolling-history trend gate: `BENCH_HISTORY.jsonl`
+//! accumulates one line per archived run ([`append_history`], window
+//! from `VARSAW_BENCH_HISTORY_WINDOW`), and [`trend_regressions`]
+//! judges the current run against the rolling median ± scaled MAD of
+//! that history — robust to a single noisy baseline run in a way the
+//! pairwise check cannot be.
 //!
 //! The criterion harness itself is exercised here:
 //!
@@ -47,6 +53,28 @@ pub struct Regression {
     pub new_mean_ns: u128,
     /// `new / old` slowdown ratio.
     pub ratio: f64,
+}
+
+/// A kernel whose mean regressed against its rolling history — flagged by
+/// [`trend_regressions`] when the current mean clears both the noise band
+/// (median + [`TREND_MAD_SIGMAS`] · scaled MAD) and the ratio guard
+/// (median · `max_ratio`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrendRegression {
+    /// Benchmark id.
+    pub id: String,
+    /// Rolling median of the historical means, nanoseconds.
+    pub median_ns: u128,
+    /// Scaled median absolute deviation of the historical means
+    /// (MAD · 1.4826, the consistency constant for a normal spread),
+    /// nanoseconds.
+    pub mad_ns: u128,
+    /// Mean of the current run, nanoseconds.
+    pub new_mean_ns: u128,
+    /// `new / median` slowdown ratio.
+    pub ratio: f64,
+    /// How many historical runs carried this id.
+    pub runs: usize,
 }
 
 /// Parses a `BENCH_*.json` artifact.
@@ -224,6 +252,132 @@ pub fn compare_runs(old: &[BenchRecord], new: &[BenchRecord], max_ratio: f64) ->
     regressions
 }
 
+/// Minimum historical runs before the trend gate judges an id — below
+/// this, a median/MAD is too fragile to gate on and the id is skipped.
+pub const TREND_MIN_RUNS: usize = 3;
+
+/// How many scaled MADs above the rolling median the noise band extends.
+pub const TREND_MAD_SIGMAS: f64 = 4.0;
+
+/// The normal-consistency constant turning a raw MAD into a σ-comparable
+/// spread estimate.
+const MAD_SCALE: f64 = 1.4826;
+
+/// Parses a `BENCH_HISTORY.jsonl` rolling history: one line per archived
+/// run, each line the same flat record array a `BENCH_*.json` artifact
+/// holds (so a history line round-trips through [`parse_bench_json`]).
+/// Blank lines are skipped; a malformed line is an error naming its line
+/// number — a corrupted history should be noticed, not silently shrunk.
+pub fn parse_history(text: &str) -> Result<Vec<Vec<BenchRecord>>, String> {
+    text.lines()
+        .enumerate()
+        .filter(|(_, line)| !line.trim().is_empty())
+        .map(|(i, line)| parse_bench_json(line).map_err(|e| format!("history line {}: {e}", i + 1)))
+        .collect()
+}
+
+/// Serializes records in the criterion shim's artifact format, so a
+/// history line is exactly what [`parse_bench_json`] reads back.
+pub fn render_bench_json(records: &[BenchRecord]) -> String {
+    let mut out = String::from("[");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"id\":\"");
+        for c in r.id.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push_str(&format!(
+            "\",\"mean_ns\":{},\"best_ns\":{},\"samples\":{}}}",
+            r.mean_ns, r.best_ns, r.samples
+        ));
+    }
+    out.push(']');
+    out
+}
+
+/// Appends `run` to a serialized rolling history, keeping only the newest
+/// `window` runs (the new one included). Existing lines are kept verbatim
+/// — the window bounds the file without re-serializing history.
+pub fn append_history(history_text: &str, run: &[BenchRecord], window: usize) -> String {
+    let window = window.max(1);
+    let mut lines: Vec<&str> = history_text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .collect();
+    if lines.len() >= window {
+        lines.drain(..lines.len() - (window - 1));
+    }
+    let mut out = String::new();
+    for line in lines {
+        out.push_str(line);
+        out.push('\n');
+    }
+    out.push_str(&render_bench_json(run));
+    out.push('\n');
+    out
+}
+
+/// The median of a non-empty sorted slice (lower-middle for even counts —
+/// bias toward the faster half keeps the gate slightly stricter).
+fn median_sorted(sorted: &[u128]) -> u128 {
+    sorted[(sorted.len() - 1) / 2]
+}
+
+/// Judges the current run against its rolling history: for every id with
+/// at least [`TREND_MIN_RUNS`] historical means, the current mean is
+/// compared to the history's median ± scaled MAD. A kernel regresses only
+/// when it clears **both** guards — `median + `[`TREND_MAD_SIGMAS`]` · mad`
+/// (so a historically noisy kernel gets a proportionally wide band) and
+/// `median · max_ratio` (so a rock-stable history still needs a real
+/// slowdown, not a microscopic one, to trip). Sub-microsecond kernels and
+/// ids without enough history are skipped, like [`compare_runs`].
+pub fn trend_regressions(
+    history: &[Vec<BenchRecord>],
+    current: &[BenchRecord],
+    max_ratio: f64,
+) -> Vec<TrendRegression> {
+    const MIN_MEAN_NS: u128 = 1_000;
+    let mut regressions: Vec<TrendRegression> = current
+        .iter()
+        .filter(|n| n.mean_ns >= MIN_MEAN_NS)
+        .filter_map(|n| {
+            let mut means: Vec<u128> = history
+                .iter()
+                .flat_map(|run| run.iter().filter(|r| r.id == n.id))
+                .map(|r| r.mean_ns)
+                .collect();
+            if means.len() < TREND_MIN_RUNS {
+                return None;
+            }
+            means.sort_unstable();
+            let median = median_sorted(&means);
+            let mut deviations: Vec<u128> = means.iter().map(|&m| m.abs_diff(median)).collect();
+            deviations.sort_unstable();
+            let mad = (median_sorted(&deviations) as f64 * MAD_SCALE) as u128;
+            let noise_band = median as f64 + TREND_MAD_SIGMAS * mad as f64;
+            let ratio_guard = median.max(1) as f64 * max_ratio;
+            let new = n.mean_ns as f64;
+            (new > noise_band && new > ratio_guard).then(|| TrendRegression {
+                id: n.id.clone(),
+                median_ns: median,
+                mad_ns: mad,
+                new_mean_ns: n.mean_ns,
+                ratio: new / median.max(1) as f64,
+                runs: means.len(),
+            })
+        })
+        .collect();
+    regressions.sort_by(|a, b| b.ratio.total_cmp(&a.ratio));
+    regressions
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -321,5 +475,86 @@ mod tests {
         let r = compare_runs(&old, &new, 2.0);
         assert_eq!(r[0].id, "b");
         assert_eq!(r[1].id, "a");
+    }
+
+    #[test]
+    fn render_parse_roundtrip_with_escapes() {
+        let run = vec![record("a\"b\\c\nq", 5_000), record("plain/id", 7)];
+        let parsed = parse_bench_json(&render_bench_json(&run)).unwrap();
+        assert_eq!(parsed, run);
+        assert_eq!(render_bench_json(&[]), "[]");
+    }
+
+    #[test]
+    fn history_parses_lines_and_names_bad_ones() {
+        let text = format!(
+            "{}\n\n{}\n",
+            render_bench_json(&[record("a", 1_500)]),
+            render_bench_json(&[record("a", 1_600), record("b", 9)]),
+        );
+        let history = parse_history(&text).unwrap();
+        assert_eq!(history.len(), 2);
+        assert_eq!(history[1][1].id, "b");
+        assert!(parse_history("[]\nnot json\n")
+            .unwrap_err()
+            .contains("line 2"));
+    }
+
+    #[test]
+    fn append_history_bounds_the_window() {
+        let mut text = String::new();
+        for i in 0..5u128 {
+            text = append_history(&text, &[record("a", 1_000 + i)], 3);
+        }
+        let history = parse_history(&text).unwrap();
+        assert_eq!(history.len(), 3, "window keeps only the newest runs");
+        let means: Vec<u128> = history.iter().map(|run| run[0].mean_ns).collect();
+        assert_eq!(means, vec![1_002, 1_003, 1_004]);
+    }
+
+    #[test]
+    fn trend_flags_doubling_and_passes_unchanged_run() {
+        // A tight ≥3-run history around 10µs.
+        let history: Vec<Vec<BenchRecord>> = [10_000u128, 10_100, 9_950, 10_050]
+            .iter()
+            .map(|&m| vec![record("kernel", m)])
+            .collect();
+        // Unchanged run: clean.
+        assert!(trend_regressions(&history, &[record("kernel", 10_020)], 2.0).is_empty());
+        // Synthetic 2× regression: flagged.
+        let flagged = trend_regressions(&history, &[record("kernel", 20_400)], 2.0);
+        assert_eq!(flagged.len(), 1);
+        assert_eq!(flagged[0].runs, 4);
+        assert!(flagged[0].ratio > 2.0);
+    }
+
+    #[test]
+    fn trend_needs_enough_history_and_skips_tiny_kernels() {
+        let short: Vec<Vec<BenchRecord>> = (0..2).map(|_| vec![record("kernel", 10_000)]).collect();
+        assert!(
+            trend_regressions(&short, &[record("kernel", 90_000)], 2.0).is_empty(),
+            "two runs are not a trend"
+        );
+        let tiny: Vec<Vec<BenchRecord>> = (0..4).map(|_| vec![record("tiny", 50)]).collect();
+        assert!(
+            trend_regressions(&tiny, &[record("tiny", 900)], 2.0).is_empty(),
+            "sub-microsecond kernels are jitter, not signal"
+        );
+    }
+
+    #[test]
+    fn trend_noise_band_protects_noisy_kernels() {
+        // Median 20µs, scaled MAD ≈ 14.8µs: the ratio guard alone (40µs)
+        // would flag 45µs, but the noise band (≈ 79µs) knows better.
+        let noisy: Vec<Vec<BenchRecord>> = [10_000u128, 20_000, 30_000]
+            .iter()
+            .map(|&m| vec![record("kernel", m)])
+            .collect();
+        assert!(trend_regressions(&noisy, &[record("kernel", 45_000)], 2.0).is_empty());
+        // Far past both guards: still flagged.
+        assert_eq!(
+            trend_regressions(&noisy, &[record("kernel", 90_000)], 2.0).len(),
+            1
+        );
     }
 }

@@ -5,5 +5,6 @@ pub mod ablation;
 pub mod chaos;
 pub mod structural;
 pub mod sweeps;
+pub mod telemetry;
 pub mod transport;
 pub mod tuning;

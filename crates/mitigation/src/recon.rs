@@ -259,6 +259,7 @@ impl Reconstructor {
         if config.rounds == 0 || locals.is_empty() {
             return;
         }
+        let _span = telemetry::span(telemetry::Stage::Reconstruction);
         let dim = output.probs().len();
 
         // Resolve (and on first sight, build) every local's key table up

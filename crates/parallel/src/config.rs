@@ -1,7 +1,7 @@
 //! Process-wide execution configuration, read from the environment once.
 //!
-//! Six knobs control how the workspace's engines spread work and recover
-//! from failures:
+//! Eight knobs control how the workspace's engines spread work, recover
+//! from failures, and report on themselves:
 //!
 //! - [`NUM_THREADS_ENV`] (`VARSAW_NUM_THREADS`): the worker-thread count
 //!   behind [`crate::num_threads`], shared by the statevector engine, the
@@ -23,7 +23,15 @@
 //!   session failed is re-dispatched before its error is surfaced;
 //! - [`JOB_DEADLINE_MS_ENV`] (`VARSAW_JOB_DEADLINE_MS`): the default
 //!   per-job deadline behind [`crate::job_deadline_ms`], consulted by
-//!   `sched::JobQueue` when no explicit deadline is set.
+//!   `sched::JobQueue` when no explicit deadline is set;
+//! - [`TELEMETRY_ENV`] (`VARSAW_TELEMETRY`): the runtime default of the
+//!   stage-telemetry switch behind [`crate::telemetry_default`] — only
+//!   observable in builds with the `telemetry` feature, where `0`/`off`
+//!   keeps an instrumented binary from recording;
+//! - [`BENCH_HISTORY_WINDOW_ENV`] (`VARSAW_BENCH_HISTORY_WINDOW`): the
+//!   rolling-window length behind [`crate::bench_history_window`] that
+//!   `bench_diff --trend` keeps in `BENCH_HISTORY.jsonl` and judges new
+//!   runs against.
 //!
 //! Earlier revisions re-parsed `VARSAW_NUM_THREADS` at every call site,
 //! which both repeated the work on hot paths and silently swallowed
@@ -88,6 +96,29 @@ pub const JOB_DEADLINE_MS_ENV: &str = "VARSAW_JOB_DEADLINE_MS";
 /// failure).
 pub const MAX_JOB_RETRIES: u32 = 16;
 
+/// Environment variable setting the runtime default of the stage
+/// telemetry switch (see the `telemetry` crate). Accepted values are the
+/// usual boolean spellings (`1`/`0`, `true`/`false`, `on`/`off`,
+/// `yes`/`no`, case-insensitive); anything else is reported on stderr and
+/// treated as unset. Only instrumented builds (the `telemetry` feature)
+/// observe it — uninstrumented binaries have nothing to switch.
+pub const TELEMETRY_ENV: &str = "VARSAW_TELEMETRY";
+
+/// Environment variable bounding the rolling window of runs kept in
+/// `BENCH_HISTORY.jsonl` and judged by `bench_diff --trend`. Zero and
+/// non-numbers are rejected with a warning; values above
+/// [`MAX_BENCH_HISTORY_WINDOW`] are capped. Unset means
+/// [`DEFAULT_BENCH_HISTORY_WINDOW`].
+pub const BENCH_HISTORY_WINDOW_ENV: &str = "VARSAW_BENCH_HISTORY_WINDOW";
+
+/// Default [`BENCH_HISTORY_WINDOW_ENV`]: enough depth for a stable
+/// median ± MAD band without letting months-old hardware drift vote.
+pub const DEFAULT_BENCH_HISTORY_WINDOW: usize = 20;
+
+/// Hard upper bound on [`BENCH_HISTORY_WINDOW_ENV`] (sanity cap: the
+/// trend gate reads every kept line on each run).
+pub const MAX_BENCH_HISTORY_WINDOW: usize = 500;
+
 /// A validated [`SHARD_TRANSPORT_ENV`] value. The `parallel` crate only
 /// names the backends; `qsim::transport` owns their semantics.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -126,6 +157,12 @@ pub struct Config {
     /// Default per-job deadline in milliseconds, or `None` for no
     /// deadline; from [`JOB_DEADLINE_MS_ENV`].
     pub job_deadline_ms: Option<u64>,
+    /// Runtime default of the stage-telemetry switch, or `None` to let
+    /// instrumented builds default to recording; from [`TELEMETRY_ENV`].
+    pub telemetry: Option<bool>,
+    /// Rolling bench-history window override, or `None` for
+    /// [`DEFAULT_BENCH_HISTORY_WINDOW`]; from [`BENCH_HISTORY_WINDOW_ENV`].
+    pub bench_history_window: Option<usize>,
 }
 
 impl Config {
@@ -139,6 +176,8 @@ impl Config {
         transport_raw: Option<&str>,
         retries_raw: Option<&str>,
         deadline_raw: Option<&str>,
+        telemetry_raw: Option<&str>,
+        history_window_raw: Option<&str>,
         default_threads: usize,
     ) -> (Config, Vec<String>) {
         let mut warnings = Vec::new();
@@ -211,6 +250,20 @@ impl Config {
         let job_deadline_ms =
             parse_count(JOB_DEADLINE_MS_ENV, deadline_raw, &mut warnings).map(|n| n as u64);
 
+        let telemetry = parse_bool(TELEMETRY_ENV, telemetry_raw, &mut warnings);
+
+        let bench_history_window =
+            match parse_count(BENCH_HISTORY_WINDOW_ENV, history_window_raw, &mut warnings) {
+                Some(n) if n > MAX_BENCH_HISTORY_WINDOW => {
+                    warnings.push(format!(
+                        "{BENCH_HISTORY_WINDOW_ENV}={n} exceeds the cap of \
+                         {MAX_BENCH_HISTORY_WINDOW}; using {MAX_BENCH_HISTORY_WINDOW}"
+                    ));
+                    Some(MAX_BENCH_HISTORY_WINDOW)
+                }
+                other => other,
+            };
+
         (
             Config {
                 threads,
@@ -219,6 +272,8 @@ impl Config {
                 shard_transport,
                 job_retries,
                 job_deadline_ms,
+                telemetry,
+                bench_history_window,
             },
             warnings,
         )
@@ -269,6 +324,27 @@ fn parse_transport(raw: Option<&str>, warnings: &mut Vec<String>) -> Option<Shar
     }
 }
 
+/// Parses one boolean variable. `None`/empty means "not set" (no
+/// warning); the usual boolean spellings parse case-insensitively, and
+/// anything else produces a warning and counts as unset.
+fn parse_bool(name: &str, raw: Option<&str>, warnings: &mut Vec<String>) -> Option<bool> {
+    let raw = raw?.trim();
+    if raw.is_empty() {
+        return None;
+    }
+    match raw.to_ascii_lowercase().as_str() {
+        "1" | "true" | "on" | "yes" => Some(true),
+        "0" | "false" | "off" | "no" => Some(false),
+        _ => {
+            warnings.push(format!(
+                "{name}={raw:?} is not a boolean (use 1/0, true/false, on/off); \
+                 using the default"
+            ));
+            None
+        }
+    }
+}
+
 /// Parses one count variable. `None`/empty means "not set" (no warning);
 /// unparsable or zero values produce a warning and count as unset.
 fn parse_count(name: &str, raw: Option<&str>, warnings: &mut Vec<String>) -> Option<usize> {
@@ -300,6 +376,8 @@ pub fn get() -> &'static Config {
         let transport_raw = std::env::var(SHARD_TRANSPORT_ENV).ok();
         let retries_raw = std::env::var(JOB_RETRIES_ENV).ok();
         let deadline_raw = std::env::var(JOB_DEADLINE_MS_ENV).ok();
+        let telemetry_raw = std::env::var(TELEMETRY_ENV).ok();
+        let history_window_raw = std::env::var(BENCH_HISTORY_WINDOW_ENV).ok();
         let default_threads = std::thread::available_parallelism()
             .map(|p| p.get())
             .unwrap_or(1);
@@ -310,6 +388,8 @@ pub fn get() -> &'static Config {
             transport_raw.as_deref(),
             retries_raw.as_deref(),
             deadline_raw.as_deref(),
+            telemetry_raw.as_deref(),
+            history_window_raw.as_deref(),
             default_threads,
         );
         for w in &warnings {
@@ -324,7 +404,32 @@ mod tests {
     use super::*;
 
     fn resolve(threads: Option<&str>, shards: Option<&str>) -> (Config, Vec<String>) {
-        Config::resolve(threads, shards, None, None, None, None, 4)
+        resolve_all(threads, shards, None, None, None, None, 4)
+    }
+
+    /// The pre-telemetry positional form most tests use; the two new
+    /// knobs stay unset.
+    #[allow(clippy::too_many_arguments)]
+    fn resolve_all(
+        threads: Option<&str>,
+        shards: Option<&str>,
+        sched: Option<&str>,
+        transport: Option<&str>,
+        retries: Option<&str>,
+        deadline: Option<&str>,
+        default_threads: usize,
+    ) -> (Config, Vec<String>) {
+        Config::resolve(
+            threads,
+            shards,
+            sched,
+            transport,
+            retries,
+            deadline,
+            None,
+            None,
+            default_threads,
+        )
     }
 
     fn defaults() -> Config {
@@ -335,6 +440,8 @@ mod tests {
             shard_transport: None,
             job_retries: None,
             job_deadline_ms: None,
+            telemetry: None,
+            bench_history_window: None,
         }
     }
 
@@ -400,22 +507,22 @@ mod tests {
 
     #[test]
     fn default_threads_are_clamped_to_the_cap() {
-        let (c, _) = Config::resolve(None, None, None, None, None, None, 1000);
+        let (c, _) = resolve_all(None, None, None, None, None, None, 1000);
         assert_eq!(c.threads, MAX_THREADS);
-        let (c, _) = Config::resolve(None, None, None, None, None, None, 0);
+        let (c, _) = resolve_all(None, None, None, None, None, None, 0);
         assert_eq!(c.threads, 1);
     }
 
     #[test]
     fn sched_workers_parse_and_cap() {
-        let (c, w) = Config::resolve(None, None, Some("3"), None, None, None, 4);
+        let (c, w) = resolve_all(None, None, Some("3"), None, None, None, 4);
         assert_eq!(c.sched_workers, Some(3));
         assert!(w.is_empty());
-        let (c, w) = Config::resolve(None, None, Some("9999"), None, None, None, 4);
+        let (c, w) = resolve_all(None, None, Some("9999"), None, None, None, 4);
         assert_eq!(c.sched_workers, Some(MAX_THREADS));
         assert_eq!(w.len(), 1);
         assert!(w[0].contains(SCHED_WORKERS_ENV), "{w:?}");
-        let (c, w) = Config::resolve(None, None, Some("zero"), None, None, None, 4);
+        let (c, w) = resolve_all(None, None, Some("zero"), None, None, None, 4);
         assert_eq!(c.sched_workers, None);
         assert_eq!(w.len(), 1);
     }
@@ -423,34 +530,76 @@ mod tests {
     #[test]
     fn job_retries_accept_zero_and_cap() {
         // 0 is a real value (run once, never retry), not a typo.
-        let (c, w) = Config::resolve(None, None, None, None, Some("0"), None, 4);
+        let (c, w) = resolve_all(None, None, None, None, Some("0"), None, 4);
         assert_eq!(c.job_retries, Some(0));
         assert!(w.is_empty(), "{w:?}");
-        let (c, w) = Config::resolve(None, None, None, None, Some("3"), None, 4);
+        let (c, w) = resolve_all(None, None, None, None, Some("3"), None, 4);
         assert_eq!(c.job_retries, Some(3));
         assert!(w.is_empty());
-        let (c, w) = Config::resolve(None, None, None, None, Some("999"), None, 4);
+        let (c, w) = resolve_all(None, None, None, None, Some("999"), None, 4);
         assert_eq!(c.job_retries, Some(MAX_JOB_RETRIES));
         assert_eq!(w.len(), 1);
         assert!(w[0].contains(JOB_RETRIES_ENV), "{w:?}");
-        let (c, w) = Config::resolve(None, None, None, None, Some("lots"), None, 4);
+        let (c, w) = resolve_all(None, None, None, None, Some("lots"), None, 4);
         assert_eq!(c.job_retries, None);
         assert_eq!(w.len(), 1);
     }
 
     #[test]
     fn job_deadlines_parse_and_reject_zero() {
-        let (c, w) = Config::resolve(None, None, None, None, None, Some("2500"), 4);
+        let (c, w) = resolve_all(None, None, None, None, None, Some("2500"), 4);
         assert_eq!(c.job_deadline_ms, Some(2500));
         assert!(w.is_empty());
         // A zero deadline would expire every job before dispatch; treat
         // it as the typo it almost certainly is.
-        let (c, w) = Config::resolve(None, None, None, None, None, Some("0"), 4);
+        let (c, w) = resolve_all(None, None, None, None, None, Some("0"), 4);
         assert_eq!(c.job_deadline_ms, None);
         assert_eq!(w.len(), 1);
         assert!(w[0].contains(JOB_DEADLINE_MS_ENV), "{w:?}");
-        let (c, w) = Config::resolve(None, None, None, None, None, Some("soon"), 4);
+        let (c, w) = resolve_all(None, None, None, None, None, Some("soon"), 4);
         assert_eq!(c.job_deadline_ms, None);
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn telemetry_booleans_parse_and_reject_garbage() {
+        for (raw, want) in [
+            ("1", Some(true)),
+            ("true", Some(true)),
+            ("ON", Some(true)),
+            ("yes", Some(true)),
+            ("0", Some(false)),
+            ("False", Some(false)),
+            ("off", Some(false)),
+            (" no ", Some(false)),
+        ] {
+            let (c, w) = Config::resolve(None, None, None, None, None, None, Some(raw), None, 4);
+            assert_eq!(c.telemetry, want, "raw {raw:?}");
+            assert!(w.is_empty(), "raw {raw:?}: {w:?}");
+        }
+        let (c, w) = Config::resolve(None, None, None, None, None, None, Some("maybe"), None, 4);
+        assert_eq!(c.telemetry, None);
+        assert_eq!(w.len(), 1, "{w:?}");
+        assert!(w[0].contains(TELEMETRY_ENV), "{w:?}");
+        let (c, w) = Config::resolve(None, None, None, None, None, None, Some("  "), None, 4);
+        assert_eq!(c.telemetry, None);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn bench_history_window_parses_rejects_zero_and_caps() {
+        let (c, w) = Config::resolve(None, None, None, None, None, None, None, Some("7"), 4);
+        assert_eq!(c.bench_history_window, Some(7));
+        assert!(w.is_empty());
+        let (c, w) = Config::resolve(None, None, None, None, None, None, None, Some("0"), 4);
+        assert_eq!(c.bench_history_window, None);
+        assert_eq!(w.len(), 1);
+        assert!(w[0].contains(BENCH_HISTORY_WINDOW_ENV), "{w:?}");
+        let (c, w) = Config::resolve(None, None, None, None, None, None, None, Some("99999"), 4);
+        assert_eq!(c.bench_history_window, Some(MAX_BENCH_HISTORY_WINDOW));
+        assert_eq!(w.len(), 1);
+        let (c, w) = Config::resolve(None, None, None, None, None, None, None, Some("soon"), 4);
+        assert_eq!(c.bench_history_window, None);
         assert_eq!(w.len(), 1);
     }
 
@@ -471,7 +620,7 @@ mod tests {
             ("CHANNEL", ShardTransport::Channel),
             (" channel ", ShardTransport::Channel),
         ] {
-            let (c, w) = Config::resolve(None, None, None, Some(raw), None, None, 4);
+            let (c, w) = resolve_all(None, None, None, Some(raw), None, None, 4);
             assert_eq!(c.shard_transport, Some(want), "raw {raw:?}");
             assert!(w.is_empty(), "raw {raw:?}: {w:?}");
         }
@@ -479,7 +628,7 @@ mod tests {
 
     #[test]
     fn unknown_transport_names_warn_with_the_valid_set_and_fall_back() {
-        let (c, w) = Config::resolve(None, None, None, Some("sockets"), None, None, 4);
+        let (c, w) = resolve_all(None, None, None, Some("sockets"), None, None, 4);
         assert_eq!(c.shard_transport, None, "unknown names fall back to unset");
         assert_eq!(w.len(), 1, "{w:?}");
         assert!(w[0].contains(SHARD_TRANSPORT_ENV), "{w:?}");
@@ -490,7 +639,7 @@ mod tests {
 
     #[test]
     fn empty_transport_counts_as_unset() {
-        let (c, w) = Config::resolve(None, None, None, Some("  "), None, None, 4);
+        let (c, w) = resolve_all(None, None, None, Some("  "), None, None, 4);
         assert_eq!(c.shard_transport, None);
         assert!(w.is_empty());
     }

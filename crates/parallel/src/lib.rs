@@ -189,6 +189,48 @@ pub fn job_deadline_ms() -> Option<u64> {
     config::get().job_deadline_ms
 }
 
+/// The runtime default of the stage-telemetry switch: `true` unless
+/// `VARSAW_TELEMETRY` says otherwise.
+///
+/// Resolved once per process and cached (see [`config`]). The consumer
+/// is the `telemetry` crate, which seeds its runtime recording switch
+/// from this — and only in instrumented builds (its `enabled` feature);
+/// uninstrumented binaries never record regardless of this value.
+///
+/// # Examples
+///
+/// ```
+/// // Unset in this process: instrumented builds record by default.
+/// assert!(parallel::telemetry_default());
+/// ```
+pub fn telemetry_default() -> bool {
+    config::get().telemetry.unwrap_or(true)
+}
+
+/// The rolling window of runs `bench_diff --trend` keeps in
+/// `BENCH_HISTORY.jsonl` and judges new runs against.
+///
+/// Resolved from the `VARSAW_BENCH_HISTORY_WINDOW` environment variable —
+/// read once per process and cached, capped at
+/// [`config::MAX_BENCH_HISTORY_WINDOW`], defaulting to
+/// [`config::DEFAULT_BENCH_HISTORY_WINDOW`] (see [`config`]). The
+/// consumer is the `bench` crate's trend gate.
+///
+/// # Examples
+///
+/// ```
+/// // Unset in this process: the default window applies.
+/// assert_eq!(
+///     parallel::bench_history_window(),
+///     parallel::config::DEFAULT_BENCH_HISTORY_WINDOW
+/// );
+/// ```
+pub fn bench_history_window() -> usize {
+    config::get()
+        .bench_history_window
+        .unwrap_or(config::DEFAULT_BENCH_HISTORY_WINDOW)
+}
+
 /// The contiguous index range worker `w` of `workers` owns in `0..len`.
 ///
 /// Ranges are balanced (sizes differ by at most one element), disjoint,

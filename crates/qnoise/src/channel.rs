@@ -36,6 +36,7 @@ pub fn apply_readout_errors(probs: &mut [f64], errors: &[ReadoutError]) {
         probs.len(),
         errors.len()
     );
+    let _span = telemetry::span(telemetry::Stage::NoiseSampling);
     for (j, e) in errors.iter().enumerate() {
         if *e == ReadoutError::NONE {
             continue;
@@ -74,6 +75,7 @@ pub fn apply_depolarizing(probs: &mut [f64], lambda: f64) {
     if lambda == 0.0 {
         return;
     }
+    let _span = telemetry::span(telemetry::Stage::NoiseSampling);
     let uniform = lambda / probs.len() as f64;
     for p in probs.iter_mut() {
         *p = (1.0 - lambda) * *p + uniform;

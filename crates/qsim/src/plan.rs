@@ -550,6 +550,7 @@ pub struct CircuitPlan {
 impl CircuitPlan {
     /// Compiles `circuit` with fusion and diagonal folding.
     pub fn compile(circuit: &Circuit) -> CircuitPlan {
+        let _span = telemetry::span(telemetry::Stage::PlanCompile);
         Arc::new(PlanStructure::analyze(circuit)).bind(circuit)
     }
 
@@ -557,6 +558,7 @@ impl CircuitPlan {
     /// the reference the fused path is equivalence-tested against, and
     /// the "unfused" side of the `statevector_fusion` benchmark pair.
     pub fn compile_unfused(circuit: &Circuit) -> CircuitPlan {
+        let _span = telemetry::span(telemetry::Stage::PlanCompile);
         Arc::new(PlanStructure::verbatim(circuit)).bind(circuit)
     }
 
@@ -564,6 +566,7 @@ impl CircuitPlan {
     /// entangler-block pass — the per-gate 2q sweep baseline the blocked
     /// plan is benchmarked (and mutation-tested) against.
     pub fn compile_unblocked(circuit: &Circuit) -> CircuitPlan {
+        let _span = telemetry::span(telemetry::Stage::PlanCompile);
         Arc::new(PlanStructure::analyze_unblocked(circuit)).bind(circuit)
     }
 
@@ -1135,11 +1138,18 @@ impl PlanCache {
         let key = structure_key(circuit);
         if let Some(structure) = self.structures.get(&key) {
             self.hits += 1;
+            let _span = telemetry::span(telemetry::Stage::PlanRebind);
             return structure.bind(circuit);
         }
         self.misses += 1;
-        let structure = Arc::new(PlanStructure::analyze(circuit));
-        let plan = structure.bind(circuit);
+        let structure = {
+            let _span = telemetry::span(telemetry::Stage::PlanCompile);
+            Arc::new(PlanStructure::analyze(circuit))
+        };
+        let plan = {
+            let _span = telemetry::span(telemetry::Stage::PlanRebind);
+            structure.bind(circuit)
+        };
         self.structures.insert(key, structure);
         plan
     }
@@ -1174,11 +1184,18 @@ impl PlanCache {
         let key = (shard_key(plan), shards);
         if let Some(analysis) = self.shard_analyses.get(&key) {
             self.shard_hits += 1;
+            let _span = telemetry::span(telemetry::Stage::PlanRebind);
             return analysis.bind(plan);
         }
         self.shard_misses += 1;
-        let analysis = Arc::new(ShardAnalysis::analyze(plan, shards));
-        let sp = analysis.bind(plan);
+        let analysis = {
+            let _span = telemetry::span(telemetry::Stage::PlanCompile);
+            Arc::new(ShardAnalysis::analyze(plan, shards))
+        };
+        let sp = {
+            let _span = telemetry::span(telemetry::Stage::PlanRebind);
+            analysis.bind(plan)
+        };
         self.shard_analyses.insert(key, analysis);
         sp
     }
@@ -1262,11 +1279,13 @@ impl SharedPlanCache {
                 structure
             } else {
                 cache.misses += 1;
+                let _span = telemetry::span(telemetry::Stage::PlanCompile);
                 let structure = Arc::new(PlanStructure::analyze(circuit));
                 cache.structures.insert(key, Arc::clone(&structure));
                 structure
             }
         };
+        let _span = telemetry::span(telemetry::Stage::PlanRebind);
         structure.bind(circuit)
     }
 
@@ -1281,11 +1300,13 @@ impl SharedPlanCache {
                 analysis
             } else {
                 cache.shard_misses += 1;
+                let _span = telemetry::span(telemetry::Stage::PlanCompile);
                 let analysis = Arc::new(ShardAnalysis::analyze(plan, shards));
                 cache.shard_analyses.insert(key, Arc::clone(&analysis));
                 analysis
             }
         };
+        let _span = telemetry::span(telemetry::Stage::PlanRebind);
         analysis.bind(plan)
     }
 

@@ -441,10 +441,21 @@ impl ShardedState {
         };
         self.session += 1;
         let shards = std::mem::take(&mut self.shards);
-        let mut session = self.transport.connect(shards, local_bits, &fault)?;
+        // Session open/close are transport cost too: under a rank
+        // backend they spawn and join the rank threads, which dominates
+        // small plans. Attributed to the exchange stage (the generic
+        // cross-shard-movement bucket), disjoint from the per-verb
+        // spans inside `run_steps`.
+        let mut session = {
+            let _span = telemetry::span(telemetry::Stage::TransportExchange);
+            self.transport.connect(shards, local_bits, &fault)?
+        };
         let run = run_steps(session.as_mut(), sp, local_bits, nshards, workers);
         self.counters.merge(&session.counters());
-        let result = run.and_then(|()| session.finish());
+        let result = run.and_then(|()| {
+            let _span = telemetry::span(telemetry::Stage::TransportExchange);
+            session.finish()
+        });
         match result {
             Ok(shards) => {
                 self.shards = shards;
@@ -494,6 +505,7 @@ impl ShardedState {
         if self.poisoned {
             return Err(TransportError::Poisoned);
         }
+        let _span = telemetry::span(telemetry::Stage::SweepSharded);
         let dim = self.shards.len() << self.local_bits;
         let moved: Vec<(usize, usize)> = self
             .layout
@@ -570,16 +582,23 @@ fn run_steps(
 ) -> Result<(), TransportError> {
     for step in sp.steps() {
         match step {
-            ShardStep::Local(ops) => session.run_local(&LocalOps::new(ops, local_bits), workers)?,
-            ShardStep::Exchange(op) => match classify_exchange(op, local_bits) {
-                ExchangeStep::Pair { sbit, kernel } => {
-                    session.exchange_pairs(sbit, &kernel, workers)?
+            ShardStep::Local(ops) => {
+                let _span = telemetry::span(telemetry::Stage::SweepSharded);
+                session.run_local(&LocalOps::new(ops, local_bits), workers)?
+            }
+            ShardStep::Exchange(op) => {
+                let _span = telemetry::span(telemetry::Stage::TransportExchange);
+                match classify_exchange(op, local_bits) {
+                    ExchangeStep::Pair { sbit, kernel } => {
+                        session.exchange_pairs(sbit, &kernel, workers)?
+                    }
+                    ExchangeStep::Quad { bl, bh, kernel } => {
+                        session.exchange_quads(bl, bh, &kernel, workers)?
+                    }
                 }
-                ExchangeStep::Quad { bl, bh, kernel } => {
-                    session.exchange_quads(bl, bh, &kernel, workers)?
-                }
-            },
+            }
             ShardStep::PlaneSwap(op) => {
+                let _span = telemetry::span(telemetry::Stage::TransportPlaneSwap);
                 session.plane_swap(&plane_swap_pairs(op, local_bits, nshards))?
             }
         }

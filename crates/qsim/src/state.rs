@@ -334,6 +334,7 @@ impl Statevector {
     /// Panics if the plan has more qubits than the state.
     pub fn apply_plan(&mut self, plan: &CircuitPlan) {
         self.check_plan(plan);
+        let _span = telemetry::span(telemetry::Stage::SweepSerial);
         for op in plan.ops() {
             self.apply_plan_op(op);
         }
@@ -371,10 +372,12 @@ impl Statevector {
             }
         };
         if workers < 2 {
+            let _span = telemetry::span(telemetry::Stage::SweepSerial);
             for op in plan.ops() {
                 self.apply_plan_op(op);
             }
         } else {
+            let _span = telemetry::span(telemetry::Stage::SweepThreaded);
             exec::run_threaded(&mut self.amps, plan.ops(), workers);
         }
     }
@@ -498,8 +501,10 @@ impl Statevector {
 
     fn probabilities_workers(&self, workers: usize) -> Vec<f64> {
         if workers < 2 {
+            let _span = telemetry::span(telemetry::Stage::SweepSerial);
             return self.amps.iter().map(|a| a.norm_sqr()).collect();
         }
+        let _span = telemetry::span(telemetry::Stage::SweepThreaded);
         let mut out = vec![0.0f64; self.amps.len()];
         let amps = &self.amps;
         parallel::for_each_chunk_mut(&mut out, workers, |w, chunk| {
@@ -531,6 +536,7 @@ impl Statevector {
             assert!(q < self.num_qubits, "qubit {q} out of range");
             assert!(!qubits[..i].contains(&q), "qubit {q} repeated in marginal");
         }
+        let _span = telemetry::span(telemetry::Stage::SweepSerial);
         let mut out = vec![0.0; 1usize << qubits.len()];
         for (x, a) in self.amps.iter().enumerate() {
             let mut key = 0usize;

@@ -92,5 +92,5 @@ mod queue;
 
 pub use queue::{
     job_seed, AdmitError, Degradation, JobError, JobHandle, JobOutput, JobQueue, JobSpec,
-    MeasureScope, Measurement, RetryPolicy,
+    JobTiming, MeasureScope, Measurement, RetryPolicy,
 };

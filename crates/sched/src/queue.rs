@@ -100,8 +100,41 @@ pub struct JobSpec {
     pub measurements: Vec<Measurement>,
 }
 
+/// Wall-clock milestones of a completed job: admission, dispatch, and
+/// completion. Recorded unconditionally — the instants are cheap, and
+/// the queue-wait / run-time split is the first thing an operator asks
+/// a scheduler for. Not part of the determinism contract: [`JobOutput`]
+/// equality ignores timing.
+#[derive(Clone, Copy, Debug)]
+pub struct JobTiming {
+    /// When [`JobQueue::submit`] admitted the job.
+    pub enqueued_at: Instant,
+    /// When a worker picked the job off the fair scheduler.
+    pub dispatched_at: Instant,
+    /// When the job's result was assembled (success or typed error —
+    /// the slot is filled immediately after).
+    pub completed_at: Instant,
+}
+
+impl JobTiming {
+    /// Time spent admitted but not yet dispatched.
+    pub fn queue_wait(&self) -> Duration {
+        self.dispatched_at.duration_since(self.enqueued_at)
+    }
+
+    /// Time from dispatch to completion (all attempts and backoffs).
+    pub fn run_time(&self) -> Duration {
+        self.completed_at.duration_since(self.dispatched_at)
+    }
+
+    /// End-to-end latency from admission to completion.
+    pub fn total(&self) -> Duration {
+        self.completed_at.duration_since(self.enqueued_at)
+    }
+}
+
 /// A completed job's results.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub struct JobOutput {
     /// The id from the [`JobSpec`].
     pub job_id: u64,
@@ -120,6 +153,27 @@ pub struct JobOutput {
     /// this job (`None` = ran at the configured tier). Every tier is
     /// bit-identical, so degradation never changes the PMFs.
     pub degraded_to: Option<Degradation>,
+    /// Wall-clock milestones (enqueue → dispatch → complete).
+    pub timing: JobTiming,
+    /// Per-stage time breakdown of this job's execution — `Some` only
+    /// when the `telemetry` feature is compiled in and recording is
+    /// active ([`telemetry::set_active`] / `VARSAW_TELEMETRY`).
+    pub stages: Option<telemetry::TelemetrySnapshot>,
+}
+
+impl PartialEq for JobOutput {
+    /// Equality covers only the deterministic payload. Timing and stage
+    /// breakdowns are wall-clock observations — two bit-identical runs
+    /// of the same job never clock the same nanoseconds, and the
+    /// determinism oracles compare whole outputs.
+    fn eq(&self, other: &Self) -> bool {
+        self.job_id == other.job_id
+            && self.tenant == other.tenant
+            && self.pmfs == other.pmfs
+            && self.cost == other.cost
+            && self.attempts == other.attempts
+            && self.degraded_to == other.degraded_to
+    }
 }
 
 /// How far the supervisor's degradation ladder stepped a job down from
@@ -498,6 +552,8 @@ struct PendingJob {
     slot: Arc<Slot>,
     /// Absolute completion deadline (clock starts at submission).
     deadline: Option<Instant>,
+    /// When the job was admitted — the anchor for queue-wait accounting.
+    enqueued_at: Instant,
 }
 
 /// Mutable scheduler state behind the queue's mutex.
@@ -584,6 +640,9 @@ pub struct JobQueue {
     /// from this schedule on an attempt-specific stream.
     fault_schedule: FaultSchedule,
     shared: SharedPlanCache,
+    /// Aggregate stage telemetry folded in from every completed job —
+    /// see [`JobQueue::telemetry_snapshot`].
+    telemetry: telemetry::Recorder,
     state: Mutex<SchedState>,
     /// Workers park here when nothing runnable fits; completions and
     /// submissions wake them.
@@ -608,6 +667,7 @@ impl JobQueue {
             default_deadline: parallel::job_deadline_ms().map(Duration::from_millis),
             fault_schedule: FaultSchedule::none(),
             shared: SharedPlanCache::new(),
+            telemetry: telemetry::Recorder::new(),
             state: Mutex::new(SchedState {
                 sched: FairScheduler::new(),
                 seen_ids: HashSet::new(),
@@ -796,6 +856,7 @@ impl JobQueue {
                 cost,
                 slot,
                 deadline,
+                enqueued_at: Instant::now(),
             },
         );
         drop(st);
@@ -857,6 +918,14 @@ impl JobQueue {
         self.shared.clone()
     }
 
+    /// Aggregate per-stage telemetry across every job this queue has
+    /// completed — the sum of the jobs' [`JobOutput::stages`] breakdowns.
+    /// Empty unless the `telemetry` feature is compiled in and recording
+    /// is active.
+    pub fn telemetry_snapshot(&self) -> telemetry::TelemetrySnapshot {
+        self.telemetry.snapshot()
+    }
+
     /// One worker: repeatedly dispatch the fair scheduler's next fitting
     /// job, run it on a fresh per-job executor, publish the result. Parks
     /// on the queue's condvar while jobs are pending but over the free
@@ -871,7 +940,11 @@ impl JobQueue {
                         return;
                     }
                     let free = self.budget - st.in_flight_bytes;
-                    match st.sched.pick(|j| j.bytes <= free, |j| j.cost) {
+                    let pick = {
+                        let _span = telemetry::span(telemetry::Stage::SchedDispatch);
+                        st.sched.pick(|j| j.bytes <= free, |j| j.cost)
+                    };
+                    match pick {
                         Pick::Job(job) => {
                             st.in_flight_bytes += job.bytes;
                             st.in_flight_jobs += 1;
@@ -885,13 +958,34 @@ impl JobQueue {
                     }
                 }
             };
+            let dispatched_at = Instant::now();
+            // The per-job recorder: installed on this thread for the
+            // whole execution (jobs run pinned serial, so every span
+            // lands here), harvested into the output's stage breakdown
+            // and folded into the queue-wide aggregate.
+            let recorder = telemetry::Recorder::new();
             // The completion guard: a panic inside job execution must
             // not unwind past the budget release below — parked
             // co-workers would wait forever on bytes that never free
             // (the pressure-park missed-wakeup bug). The unwind becomes
             // a typed completion instead.
-            let result = catch_unwind(AssertUnwindSafe(|| self.run_job(&job)))
-                .unwrap_or_else(|payload| Err(JobError::Panicked(panic_message(&payload))));
+            let result = {
+                let _guard = recorder.install();
+                telemetry::record_duration(
+                    telemetry::Stage::SchedQueueWait,
+                    dispatched_at.duration_since(job.enqueued_at),
+                );
+                catch_unwind(AssertUnwindSafe(|| self.run_job(&job, dispatched_at)))
+                    .unwrap_or_else(|payload| Err(JobError::Panicked(panic_message(&payload))))
+            };
+            let stages = recorder.finish();
+            if let Some(snapshot) = &stages {
+                self.telemetry.absorb(snapshot);
+            }
+            let result = result.map(|mut out| {
+                out.stages = stages;
+                out
+            });
             {
                 let mut st = lock(&self.state);
                 st.in_flight_bytes -= job.bytes;
@@ -944,6 +1038,7 @@ impl JobQueue {
     /// stacking on top of it.
     fn backoff_wait(job: &PendingJob, delay: Duration) -> Result<(), JobError> {
         const SLICE: Duration = Duration::from_millis(2);
+        let _span = telemetry::span(telemetry::Stage::SchedRetry);
         let until = Instant::now() + delay;
         loop {
             Self::check_alive(job)?;
@@ -962,13 +1057,13 @@ impl JobQueue {
     /// budget. Capacity errors, cancellation, and deadline expiry never
     /// retry: they are properties of the request or the clock, not of
     /// the failed execution.
-    fn run_job(&self, job: &PendingJob) -> Result<JobOutput, JobError> {
+    fn run_job(&self, job: &PendingJob, dispatched_at: Instant) -> Result<JobOutput, JobError> {
         let max_attempts = self.retry.max_attempts.max(1);
         let mut rung = 0u32;
         for attempt in 1..=max_attempts {
             Self::check_alive(job)?;
             let (sharding, transport, degraded) = self.rung(rung);
-            match self.run_attempt(job, attempt, sharding, transport) {
+            match self.run_attempt(job, attempt, sharding, transport, dispatched_at) {
                 Ok(mut out) => {
                     out.attempts = attempt;
                     out.degraded_to = degraded;
@@ -1002,6 +1097,7 @@ impl JobQueue {
         attempt: u32,
         sharding: Sharding,
         transport: TransportMode,
+        dispatched_at: Instant,
     ) -> Result<JobOutput, JobError> {
         let spec = &job.spec;
         let seed = job_seed(self.root_seed, spec.job_id);
@@ -1028,6 +1124,12 @@ impl JobQueue {
             cost: exec.circuits_executed(),
             attempts: attempt,
             degraded_to: None,
+            timing: JobTiming {
+                enqueued_at: job.enqueued_at,
+                dispatched_at,
+                completed_at: Instant::now(),
+            },
+            stages: None,
         })
     }
 }

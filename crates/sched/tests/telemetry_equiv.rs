@@ -1,0 +1,121 @@
+//! Telemetry transparency oracle for the job queue.
+//!
+//! Instrumentation must be invisible in the results: with per-job
+//! recorders active, the queue's PMFs and metered cost stay bit-identical
+//! to the sequential reference — the same contract `sched_equiv` proves,
+//! re-asserted here under spans. On top of that, every completed job now
+//! carries wall-clock milestones, which must be monotonic and internally
+//! consistent regardless of the telemetry feature.
+
+use qnoise::DeviceModel;
+use qsim::{Circuit, Parallelism};
+use sched::{job_seed, JobQueue, JobSpec, MeasureScope, Measurement};
+use vqe::SimExecutor;
+
+const SHOTS: u64 = 64;
+const ROOT_SEED: u64 = 0xA11CE;
+
+/// A small hardware-efficient ansatz.
+fn ansatz(n: usize, shift: f64) -> Circuit {
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.ry(q, shift + 0.3 * q as f64);
+    }
+    for q in 0..n - 1 {
+        c.cx(q, q + 1);
+    }
+    c
+}
+
+fn specs() -> Vec<JobSpec> {
+    (0..6u64)
+        .map(|id| JobSpec {
+            job_id: id,
+            tenant: id % 2,
+            circuit: ansatz(4, 0.1 + 0.2 * id as f64),
+            measurements: vec![
+                Measurement {
+                    basis: "ZZII".parse().unwrap(),
+                    scope: MeasureScope::Subset,
+                },
+                Measurement {
+                    basis: "IXXI".parse().unwrap(),
+                    scope: MeasureScope::Global,
+                },
+            ],
+        })
+        .collect()
+}
+
+#[test]
+fn job_timing_is_monotonic_and_consistent() {
+    telemetry::set_active(true);
+    let queue = JobQueue::new(DeviceModel::mumbai_like(), SHOTS, ROOT_SEED).with_workers(2);
+    let handles: Vec<_> = specs()
+        .into_iter()
+        .map(|s| queue.submit(s).expect("admitted"))
+        .collect();
+    queue.drain();
+    for h in handles {
+        let out = h.try_result().expect("completed").expect("succeeded");
+        let t = out.timing;
+        assert!(
+            t.enqueued_at <= t.dispatched_at && t.dispatched_at <= t.completed_at,
+            "milestones out of order for job {}",
+            out.job_id
+        );
+        // The split is exact arithmetic over the monotonic milestones.
+        assert_eq!(t.queue_wait() + t.run_time(), t.total());
+    }
+}
+
+#[test]
+fn telemetry_never_perturbs_queue_results() {
+    telemetry::set_active(true);
+    let device = DeviceModel::mumbai_like();
+    let queue = JobQueue::new(device.clone(), SHOTS, ROOT_SEED).with_workers(3);
+    let handles: Vec<_> = specs()
+        .into_iter()
+        .map(|s| queue.submit(s).expect("admitted"))
+        .collect();
+    queue.drain();
+
+    for (spec, h) in specs().iter().zip(handles) {
+        let out = h.try_result().expect("completed").expect("succeeded");
+        // The sequential reference: this job alone, fresh serial executor.
+        let mut exec = SimExecutor::new(device.clone(), SHOTS, job_seed(ROOT_SEED, spec.job_id))
+            .with_parallelism(Parallelism::Serial);
+        let state = exec.prepare(&spec.circuit);
+        let reference: Vec<_> = spec
+            .measurements
+            .iter()
+            .map(|m| match m.scope {
+                MeasureScope::Subset => exec.run_prepared(&state, &m.basis),
+                MeasureScope::Global => exec.run_prepared_all(&state, &m.basis),
+            })
+            .collect();
+        assert_eq!(out.pmfs, reference, "job {} diverged", spec.job_id);
+        assert_eq!(out.cost, exec.circuits_executed());
+
+        // With the feature compiled in and recording on, every job must
+        // carry a populated breakdown; compiled out, the field is None.
+        #[cfg(feature = "telemetry")]
+        assert!(
+            out.stages.as_ref().is_some_and(|s| !s.is_empty()),
+            "job {} missing stage breakdown",
+            out.job_id
+        );
+        #[cfg(not(feature = "telemetry"))]
+        assert!(out.stages.is_none());
+    }
+
+    // The queue aggregate is the fold of the per-job breakdowns.
+    #[cfg(feature = "telemetry")]
+    {
+        let agg = queue.telemetry_snapshot();
+        assert!(!agg.is_empty());
+        assert!(agg.stat(telemetry::Stage::SchedQueueWait).count >= 6);
+    }
+    #[cfg(not(feature = "telemetry"))]
+    assert!(queue.telemetry_snapshot().is_empty());
+}

@@ -590,7 +590,10 @@ impl SimExecutor {
             !measured.is_empty(),
             "cannot execute a measurement of the identity basis"
         );
-        let mut st = state.clone();
+        let mut st = {
+            let _span = telemetry::span(telemetry::Stage::SweepSerial);
+            state.clone()
+        };
         let plan = self.plan(&basis_rotation(basis));
         st.apply_plan_with(&plan, self.parallelism);
         self.finish(st.marginal_probabilities(&measured), measured)
@@ -609,7 +612,10 @@ impl SimExecutor {
     /// Panics if the basis acts on more qubits than the state or the device
     /// is too small.
     pub fn run_prepared_all(&mut self, state: &Statevector, basis: &PauliString) -> Pmf {
-        let mut st = state.clone();
+        let mut st = {
+            let _span = telemetry::span(telemetry::Stage::SweepSerial);
+            state.clone()
+        };
         let plan = self.plan(&basis_rotation(basis));
         st.apply_plan_with(&plan, self.parallelism);
         let measured: Vec<usize> = (0..state.num_qubits()).collect();
@@ -711,12 +717,15 @@ impl SimExecutor {
             let rotated: &Statevector = if pl.plan.op_count() == 0 {
                 job.state
             } else {
-                let st = match scratch {
-                    Some(st) if st.num_qubits() == job.state.num_qubits() => {
-                        st.amplitudes_mut().copy_from_slice(job.state.amplitudes());
-                        st
+                let st = {
+                    let _span = telemetry::span(telemetry::Stage::SweepSerial);
+                    match scratch {
+                        Some(st) if st.num_qubits() == job.state.num_qubits() => {
+                            st.amplitudes_mut().copy_from_slice(job.state.amplitudes());
+                            st
+                        }
+                        _ => scratch.insert(job.state.clone()),
                     }
-                    _ => scratch.insert(job.state.clone()),
                 };
                 st.apply_plan_with(&pl.plan, mode);
                 st
@@ -780,6 +789,10 @@ impl SimExecutor {
         if self.exact {
             Pmf::new(measured, probs)
         } else {
+            // The channel pushes above time themselves (NoiseSampling
+            // spans inside qnoise); only the shot draw is timed here so
+            // the stage is never double-counted.
+            let _span = telemetry::span(telemetry::Stage::NoiseSampling);
             let counts = qsim::sample_counts(&probs, self.shots, &mut self.rng);
             Pmf::new(measured, counts.iter().map(|&c| c as f64).collect())
         }
